@@ -1,0 +1,280 @@
+// Command cyberhd is the training and evaluation CLI.
+//
+// Subcommands:
+//
+//	cyberhd gen -dataset nsl-kdd -n 20000 -out nsl.csv     # synthesize a dataset
+//	cyberhd train -in nsl.csv                              # train + full report
+//	cyberhd train -dataset unsw-nb15 -n 10000 -cycles 0    # synthetic, static HDC
+//	cyberhd quantize -dataset nsl-kdd -n 8000              # accuracy across bitwidths
+//	cyberhd faults -dataset nsl-kdd -rate 0.1 -bits 1      # robustness spot check
+//	cyberhd detect -train 3000 -sessions 1000              # end-to-end live detection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyberhd"
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/datasets"
+	"cyberhd/internal/faults"
+	"cyberhd/internal/metrics"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/quantize"
+	"cyberhd/internal/rng"
+	"cyberhd/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "quantize":
+		err = cmdQuantize(os.Args[2:])
+	case "faults":
+		err = cmdFaults(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyberhd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cyberhd <gen|train|quantize|faults|detect> [flags]")
+	os.Exit(2)
+}
+
+// loadOrGen builds a dataset from -in CSV or synthesizes -dataset.
+func loadOrGen(in, name string, n int, seed uint64) (*cyberhd.Dataset, error) {
+	if in != "" {
+		return cyberhd.LoadCSV(in)
+	}
+	d, ok := cyberhd.DatasetByName(name, n, seed)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q (want one of %v)", name, datasets.PaperDatasets())
+	}
+	return d, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("dataset", "nsl-kdd", "dataset to synthesize")
+	n := fs.Int("n", 10000, "samples (sessions for CIC sets)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	out := fs.String("out", "", "output CSV path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out required")
+	}
+	d, ok := cyberhd.DatasetByName(*name, *n, *seed)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", *name)
+	}
+	if err := cyberhd.SaveCSV(*out, d); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d samples × %d features, %d classes\n",
+		*out, d.Len(), d.NumFeatures(), d.NumClasses())
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (from gen); empty = synthesize")
+	name := fs.String("dataset", "nsl-kdd", "dataset when -in is empty")
+	n := fs.Int("n", 8000, "samples when synthesizing")
+	seed := fs.Uint64("seed", 42, "random seed")
+	dim := fs.Int("dim", 512, "physical hyperspace dimensionality")
+	epochs := fs.Int("epochs", 8, "adaptive epochs per cycle")
+	cycles := fs.Int("cycles", 7, "regeneration cycles (0 = static BaselineHD)")
+	rate := fs.Float64("rate", 0.2, "regeneration rate R")
+	lr := fs.Float64("lr", 0.1, "learning rate η")
+	fs.Parse(args)
+
+	d, err := loadOrGen(*in, *name, *n, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := cyberhd.Config{
+		Dim: *dim, Epochs: *epochs, RegenCycles: *cycles, RegenRate: *rate,
+		LearningRate: *lr, TrainFraction: 0.75, Seed: *seed,
+	}
+	det, err := cyberhd.TrainDetector(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(det)
+	for _, h := range det.Model.History {
+		fmt.Printf("  cycle %d: dropped=%3d D*=%4d trainAcc=%.4f\n",
+			h.Cycle, h.Dropped, h.EffectiveDim, h.TrainAcc)
+	}
+
+	// Full quality report on a fresh evaluation split.
+	_, test, norm := d.NormalizedSplit(0.75, *seed)
+	_ = norm
+	conf := metrics.NewConfusion(d.ClassNames)
+	preds := det.Model.PredictBatch(test.X)
+	conf.AddAll(test.Y, preds)
+	fmt.Printf("\naccuracy: %.4f   macro-F1: %.4f   detection: %.4f   false-alarm: %.4f\n",
+		conf.Accuracy(), conf.MacroF1(), conf.DetectionRate(0), conf.FalseAlarmRate(0))
+	fmt.Println("\nconfusion matrix:")
+	fmt.Print(conf)
+	fmt.Println("\nper-class report:")
+	for _, r := range conf.Report() {
+		fmt.Printf("  %-14s support=%5d P=%.3f R=%.3f F1=%.3f\n",
+			r.Class, r.Support, r.Precision, r.Recall, r.F1)
+	}
+	return nil
+}
+
+func cmdQuantize(args []string) error {
+	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV; empty = synthesize")
+	name := fs.String("dataset", "nsl-kdd", "dataset when -in is empty")
+	n := fs.Int("n", 8000, "samples when synthesizing")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+
+	d, err := loadOrGen(*in, *name, *n, *seed)
+	if err != nil {
+		return err
+	}
+	det, err := cyberhd.TrainDetector(d, cyberhd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	_, test, _ := d.NormalizedSplit(0.75, *seed)
+	fmt.Printf("float32 accuracy: %.4f   class memory: %d bits\n",
+		det.Model.Evaluate(test.X, test.Y),
+		det.Model.NumClasses()*det.Model.Dim()*32)
+	for _, w := range bitpack.Widths {
+		q, err := quantize.FromCore(det.Model, w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2d-bit accuracy:  %.4f   class memory: %d bits\n",
+			w, q.Evaluate(test.X, test.Y), q.MemoryBits())
+	}
+	return nil
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV; empty = synthesize")
+	name := fs.String("dataset", "nsl-kdd", "dataset when -in is empty")
+	n := fs.Int("n", 8000, "samples when synthesizing")
+	seed := fs.Uint64("seed", 42, "random seed")
+	rate := fs.Float64("rate", 0.1, "fraction of elements hit by a bit flip")
+	bits := fs.Int("bits", 1, "HDC element bitwidth")
+	trials := fs.Int("trials", 5, "injection trials")
+	fs.Parse(args)
+
+	d, err := loadOrGen(*in, *name, *n, *seed)
+	if err != nil {
+		return err
+	}
+	det, err := cyberhd.TrainDetector(d, cyberhd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	_, test, _ := d.NormalizedSplit(0.75, *seed)
+	q, err := quantize.FromCore(det.Model, bitpack.Width(*bits))
+	if err != nil {
+		return err
+	}
+	clean := q.Evaluate(test.X, test.Y)
+	r := rng.New(*seed + 1)
+	var lossSum float64
+	for i := 0; i < *trials; i++ {
+		hurt := q.Clone()
+		nFlips := faults.InjectQuantized(hurt.Class, *rate, r)
+		acc := hurt.Evaluate(test.X, test.Y)
+		lossSum += clean - acc
+		fmt.Printf("trial %d: %5d elements corrupted, accuracy %.4f (clean %.4f)\n",
+			i+1, nFlips, acc, clean)
+	}
+	fmt.Printf("\nmean accuracy loss at %.0f%% error rate, %d-bit: %.2f pp\n",
+		100**rate, *bits, 100*lossSum/float64(*trials))
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	trainSessions := fs.Int("train", 3000, "training capture size (sessions)")
+	liveSessions := fs.Int("sessions", 1000, "live capture size (sessions)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic")
+	verbose := fs.Bool("v", false, "print every alert")
+	fs.Parse(args)
+
+	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(*trainSessions, *seed), cyberhd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("detector:", det)
+
+	var live *cyberhd.TrafficStream
+	if *capture != "" {
+		pkts, err := netflow.LoadCapture(*capture)
+		if err != nil {
+			return err
+		}
+		live = &cyberhd.TrafficStream{Packets: pkts, Labels: map[netflow.FlowKey]traffic.Label{}}
+	} else {
+		live = cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: *liveSessions, Seed: *seed + 1})
+	}
+
+	// Score verdicts against ground truth where available.
+	conf := metrics.NewConfusion(det.ClassNames)
+	scored := 0
+	eng, err := det.NewEngine(0, func(a cyberhd.Alert) {
+		if *verbose {
+			fmt.Printf("ALERT t=%9.2fs %-12s %4d pkts %9.0f bytes\n",
+				a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes())
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// A parallel label-aware assembler scores verdicts against ground truth.
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
+		label, ok := live.Labels[f.Key]
+		if !ok {
+			return
+		}
+		feat := f.Features()
+		x := make([]float32, len(feat))
+		copy(x, feat)
+		det.Normalizer.ApplyVec(x)
+		conf.Add(int(label), det.Model.Predict(x))
+		scored++
+	})
+	for i := range live.Packets {
+		eng.Feed(&live.Packets[i])
+		a.Add(&live.Packets[i])
+	}
+	eng.Flush()
+	a.Flush()
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
+	if scored > 0 {
+		fmt.Printf("scored %d labeled flows: accuracy %.4f, detection rate %.4f, false alarms %.4f\n",
+			scored, conf.Accuracy(), conf.DetectionRate(0), conf.FalseAlarmRate(0))
+		fmt.Println("\nconfusion matrix:")
+		fmt.Print(conf)
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+// Package bitpack implements quantized hypervectors stored b bits per
+// element inside uint64 words, for b ∈ {1, 2, 4, 8, 16, 32}.
+//
+// The same packed representation serves two purposes in the paper's
+// evaluation: (i) Table I's bitwidth sweep, where narrower elements buy
+// more FPGA parallelism at the cost of a larger effective dimensionality,
+// and (ii) Fig 5's fault injection, where hardware errors are modeled as
+// uniform random flips of *physical storage bits* — packing makes "a bit"
+// a well-defined target at every width.
+//
+// Elements are two's-complement signed integers of b bits, except b == 1
+// which is the conventional bipolar encoding: stored bit 1 ⇒ +1, 0 ⇒ −1.
+// One-bit dot products use XNOR/popcount over whole words.
+package bitpack
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Width is a supported element bitwidth.
+type Width int
+
+// Supported element bitwidths.
+const (
+	W1  Width = 1
+	W2  Width = 2
+	W4  Width = 4
+	W8  Width = 8
+	W16 Width = 16
+	W32 Width = 32
+)
+
+// Widths lists all supported bitwidths in descending order, matching the
+// columns of Table I.
+var Widths = []Width{W32, W16, W8, W4, W2, W1}
+
+// Valid reports whether w is a supported bitwidth.
+func (w Width) Valid() bool {
+	switch w {
+	case W1, W2, W4, W8, W16, W32:
+		return true
+	}
+	return false
+}
+
+// MaxQ returns the largest representable magnitude for width w
+// (symmetric range ±MaxQ; 1-bit is ±1).
+func (w Width) MaxQ() int64 {
+	if w == W1 {
+		return 1
+	}
+	return (1 << (uint(w) - 1)) - 1
+}
+
+// Vector is a quantized hypervector: Dim elements of Width bits packed
+// little-endian-within-word into Words. Scale converts stored integers back
+// to the float domain: x ≈ Scale · q.
+type Vector struct {
+	Dim   int
+	Width Width
+	Scale float32
+	Words []uint64
+}
+
+// wordsFor returns the number of uint64 words needed for n elements of
+// width w.
+func wordsFor(n int, w Width) int {
+	per := 64 / int(w)
+	return (n + per - 1) / per
+}
+
+// NewVector allocates a zeroed quantized vector. For W1, "zero" decodes to
+// −1 at every position (stored bit 0); callers normally Quantize into it.
+func NewVector(dim int, w Width) *Vector {
+	if !w.Valid() {
+		panic(fmt.Sprintf("bitpack: invalid width %d", w))
+	}
+	if dim < 0 {
+		panic("bitpack: negative dim")
+	}
+	return &Vector{Dim: dim, Width: w, Scale: 1, Words: make([]uint64, wordsFor(dim, w))}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	out := &Vector{Dim: v.Dim, Width: v.Width, Scale: v.Scale, Words: make([]uint64, len(v.Words))}
+	copy(out.Words, v.Words)
+	return out
+}
+
+// StorageBits returns the number of physical storage bits holding payload
+// (Dim × Width). Fault injection draws uniformly over this range.
+func (v *Vector) StorageBits() int { return v.Dim * int(v.Width) }
+
+// Set stores the signed integer q at element i, truncated to the vector's
+// width. For W1, q >= 0 stores +1 and q < 0 stores −1.
+func (v *Vector) Set(i int, q int64) {
+	if i < 0 || i >= v.Dim {
+		panic("bitpack: Set index out of range")
+	}
+	w := int(v.Width)
+	if v.Width == W1 {
+		bit := uint64(0)
+		if q >= 0 {
+			bit = 1
+		}
+		word, off := i/64, uint(i%64)
+		v.Words[word] = v.Words[word]&^(1<<off) | bit<<off
+		return
+	}
+	per := 64 / w
+	word, slot := i/per, i%per
+	off := uint(slot * w)
+	mask := (uint64(1)<<uint(w) - 1)
+	v.Words[word] = v.Words[word]&^(mask<<off) | (uint64(q)&mask)<<off
+}
+
+// Get returns the signed integer stored at element i (sign-extended).
+// For W1 it returns +1 or −1.
+func (v *Vector) Get(i int) int64 {
+	if i < 0 || i >= v.Dim {
+		panic("bitpack: Get index out of range")
+	}
+	w := int(v.Width)
+	if v.Width == W1 {
+		word, off := i/64, uint(i%64)
+		if v.Words[word]>>off&1 == 1 {
+			return 1
+		}
+		return -1
+	}
+	per := 64 / w
+	word, slot := i/per, i%per
+	off := uint(slot * w)
+	mask := (uint64(1)<<uint(w) - 1)
+	raw := v.Words[word] >> off & mask
+	// sign-extend
+	signBit := uint64(1) << uint(w-1)
+	if raw&signBit != 0 {
+		raw |= ^mask
+	}
+	return int64(raw)
+}
+
+// FlipBit flips physical storage bit k, where k indexes the payload bits
+// of the vector in element order (k ∈ [0, StorageBits())). This is the
+// fault model for Fig 5: a flip of the element's most significant (sign)
+// bit changes its value most; at 1-bit width every flip negates one
+// element.
+func (v *Vector) FlipBit(k int) {
+	if k < 0 || k >= v.StorageBits() {
+		panic("bitpack: FlipBit index out of range")
+	}
+	w := int(v.Width)
+	elem, bit := k/w, k%w
+	per := 64 / w
+	word, slot := elem/per, elem%per
+	off := uint(slot*w + bit)
+	v.Words[word] ^= 1 << off
+}
+
+// Dequantize writes Scale·q for every element into dst, which must have
+// length Dim.
+func (v *Vector) Dequantize(dst []float32) {
+	if len(dst) != v.Dim {
+		panic("bitpack: Dequantize length mismatch")
+	}
+	for i := 0; i < v.Dim; i++ {
+		dst[i] = v.Scale * float32(v.Get(i))
+	}
+}
+
+// Quantize builds a packed vector of width w from x using symmetric linear
+// quantization: scale = max|x| / MaxQ(w), q = round(x/scale) clamped to the
+// symmetric range. For w == 1 the result is the sign pattern with scale
+// max|x| (scale only matters for dequantization magnitude, not similarity).
+func Quantize(x []float32, w Width) *Vector {
+	v := NewVector(len(x), w)
+	var maxAbs float64
+	for _, f := range x {
+		a := math.Abs(float64(f))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		v.Scale = 1
+		if w == W1 {
+			// all-zero input: store an arbitrary but fixed pattern (+1s)
+			for i := range x {
+				v.Set(i, 1)
+			}
+		}
+		return v
+	}
+	maxQ := w.MaxQ()
+	scale := maxAbs / float64(maxQ)
+	v.Scale = float32(scale)
+	if w == W1 {
+		v.Scale = float32(maxAbs)
+		for i, f := range x {
+			if f >= 0 {
+				v.Set(i, 1)
+			} else {
+				v.Set(i, -1)
+			}
+		}
+		return v
+	}
+	for i, f := range x {
+		q := int64(math.RoundToEven(float64(f) / scale))
+		if q > maxQ {
+			q = maxQ
+		}
+		if q < -maxQ {
+			q = -maxQ
+		}
+		v.Set(i, q)
+	}
+	return v
+}
+
+// Dot returns the inner product Σ a_i·b_i of two packed vectors of
+// identical dim and width, in the integer domain (the float-domain product
+// is Dot·a.Scale·b.Scale). The 1-bit path is exact XNOR/popcount; wider
+// widths accumulate in float64, since 32-bit element products summed over
+// thousands of dimensions overflow int64.
+func Dot(a, b *Vector) float64 {
+	if a.Dim != b.Dim || a.Width != b.Width {
+		panic("bitpack: Dot shape mismatch")
+	}
+	if a.Width == W1 {
+		return float64(dot1(a, b))
+	}
+	var s float64
+	for i := 0; i < a.Dim; i++ {
+		s += float64(a.Get(i)) * float64(b.Get(i))
+	}
+	return s
+}
+
+// dot1 computes the bipolar dot product via popcount: matches − mismatches
+// = Dim − 2·hamming.
+func dot1(a, b *Vector) int64 {
+	ham := 0
+	n := len(a.Words)
+	full := a.Dim / 64
+	for i := 0; i < full; i++ {
+		ham += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	}
+	if rem := a.Dim % 64; rem != 0 && full < n {
+		mask := uint64(1)<<uint(rem) - 1
+		ham += bits.OnesCount64((a.Words[full] ^ b.Words[full]) & mask)
+	}
+	return int64(a.Dim - 2*ham)
+}
+
+// Cosine returns the cosine similarity of two packed vectors in the integer
+// domain (scales cancel). Zero vectors yield 0.
+func Cosine(a, b *Vector) float64 {
+	dot := Dot(a, b)
+	na := math.Sqrt(normSq(a))
+	nb := math.Sqrt(normSq(b))
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+func normSq(v *Vector) float64 {
+	if v.Width == W1 {
+		return float64(v.Dim)
+	}
+	var s float64
+	for i := 0; i < v.Dim; i++ {
+		q := float64(v.Get(i))
+		s += q * q
+	}
+	return s
+}
+
+// Matrix is a set of equally-shaped quantized vectors, one per row — the
+// quantized class-hypervector memory.
+type Matrix struct {
+	Rows []*Vector
+}
+
+// QuantizeMatrix packs each row of the rows×cols float matrix data
+// (row-major) at width w.
+func QuantizeMatrix(data []float32, rows, cols int, w Width) *Matrix {
+	if len(data) != rows*cols {
+		panic("bitpack: QuantizeMatrix size mismatch")
+	}
+	m := &Matrix{Rows: make([]*Vector, rows)}
+	for r := 0; r < rows; r++ {
+		m.Rows[r] = Quantize(data[r*cols:(r+1)*cols], w)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Rows: make([]*Vector, len(m.Rows))}
+	for i, r := range m.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// StorageBits returns the total payload bits across all rows.
+func (m *Matrix) StorageBits() int {
+	total := 0
+	for _, r := range m.Rows {
+		total += r.StorageBits()
+	}
+	return total
+}
+
+// FlipBit flips global payload bit k, counting across rows in order.
+func (m *Matrix) FlipBit(k int) {
+	if k < 0 {
+		panic("bitpack: Matrix.FlipBit negative index")
+	}
+	for _, r := range m.Rows {
+		if k < r.StorageBits() {
+			r.FlipBit(k)
+			return
+		}
+		k -= r.StorageBits()
+	}
+	panic("bitpack: Matrix.FlipBit index out of range")
+}
+
+// Classify returns the row index with the highest integer-domain cosine
+// similarity to q, which must match the rows' dim and width.
+func (m *Matrix) Classify(q *Vector) int {
+	best, bestSim := 0, math.Inf(-1)
+	for i, r := range m.Rows {
+		if s := Cosine(r, q); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	return best
+}

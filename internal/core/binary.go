@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+)
+
+// BinaryModel is the classic binary HDC classifier of Rahimi et al.
+// (ISLPED'16) — the lineage the paper cites as "SOTA HDCs [1]": encodings
+// are binarized to bipolar sign patterns, each class hypervector is the
+// element-wise majority vote of its training patterns, and queries are
+// matched by Hamming distance over packed 1-bit vectors.
+//
+// It complements the float adaptive Model as a second, fully independent
+// HDC baseline: single-pass training, 1-bit memory, XNOR/popcount
+// inference.
+type BinaryModel struct {
+	Enc encoder.Encoder
+	// Class holds one packed bipolar hypervector per class.
+	Class *bitpack.Matrix
+}
+
+// TrainBinary fits a majority-vote binary HDC model.
+func TrainBinary(enc encoder.Encoder, x *hdc.Matrix, y []int, classes int) (*BinaryModel, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("core: need at least 2 classes, got %d", classes)
+	}
+	if x.Rows != len(y) || x.Rows == 0 {
+		return nil, fmt.Errorf("core: %d samples, %d labels", x.Rows, len(y))
+	}
+	for i, l := range y {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("core: label %d at sample %d out of range", l, i)
+		}
+	}
+	dim := enc.Dim()
+	// Majority counters per class and dimension.
+	votes := make([][]int32, classes)
+	for c := range votes {
+		votes[c] = make([]int32, dim)
+	}
+	counts := make([]int32, classes)
+
+	// Encoding dominates cost and parallelizes; the vote accumulation is
+	// sequential so results are deterministic regardless of core count.
+	enc2 := encoder.EncodeBatch(enc, x)
+	for i := 0; i < x.Rows; i++ {
+		row := enc2.Row(i)
+		c := y[i]
+		counts[c]++
+		v := votes[c]
+		for d := 0; d < dim; d++ {
+			if row[d] >= 0 {
+				v[d]++
+			} else {
+				v[d]--
+			}
+		}
+	}
+	m := &BinaryModel{Enc: enc, Class: &bitpack.Matrix{Rows: make([]*bitpack.Vector, classes)}}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			return nil, fmt.Errorf("core: class %d has no training samples", c)
+		}
+		vec := bitpack.NewVector(dim, bitpack.W1)
+		for d := 0; d < dim; d++ {
+			if votes[c][d] >= 0 {
+				vec.Set(d, 1)
+			} else {
+				vec.Set(d, -1)
+			}
+		}
+		m.Class.Rows[c] = vec
+	}
+	return m, nil
+}
+
+// Dim returns the hyperspace dimensionality.
+func (m *BinaryModel) Dim() int {
+	if len(m.Class.Rows) == 0 {
+		return 0
+	}
+	return m.Class.Rows[0].Dim
+}
+
+// NumClasses returns the number of classes.
+func (m *BinaryModel) NumClasses() int { return len(m.Class.Rows) }
+
+// Predict encodes x, binarizes it and returns the Hamming-nearest class.
+func (m *BinaryModel) Predict(x []float32) int {
+	h := make([]float32, m.Enc.Dim())
+	m.Enc.Encode(x, h)
+	return m.PredictEncoded(h)
+}
+
+// PredictEncoded classifies an already-encoded float hypervector.
+func (m *BinaryModel) PredictEncoded(h []float32) int {
+	return m.Class.Classify(bitpack.Quantize(h, bitpack.W1))
+}
+
+// PredictBatch classifies every row of x in parallel.
+func (m *BinaryModel) PredictBatch(x *hdc.Matrix) []int {
+	out := make([]int, x.Rows)
+	hdc.ParallelChunks(x.Rows, func(lo, hi int) {
+		h := make([]float32, m.Enc.Dim())
+		for i := lo; i < hi; i++ {
+			m.Enc.Encode(x.Row(i), h)
+			out[i] = m.PredictEncoded(h)
+		}
+	})
+	return out
+}
+
+// Evaluate returns accuracy on x, y.
+func (m *BinaryModel) Evaluate(x *hdc.Matrix, y []int) float64 {
+	preds := m.PredictBatch(x)
+	correct := 0
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// MemoryBits returns the class memory footprint (Dim bits per class).
+func (m *BinaryModel) MemoryBits() int { return m.Class.StorageBits() }

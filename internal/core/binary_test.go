@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"cyberhd/internal/encoder"
+)
+
+func TestTrainBinaryValidation(t *testing.T) {
+	x, y := blobs(20, 4, 2, 0.1, 400, 1)
+	enc := encoder.NewRBF(4, 64, 0, 1)
+	if _, err := TrainBinary(enc, x, y, 1); err == nil {
+		t.Error("accepted 1 class")
+	}
+	if _, err := TrainBinary(enc, x, y[:3], 2); err == nil {
+		t.Error("accepted label mismatch")
+	}
+	bad := append([]int(nil), y...)
+	bad[0] = 5
+	if _, err := TrainBinary(enc, x, bad, 2); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+	// A class with zero samples must be rejected (labels all 0, classes 3).
+	zeros := make([]int, len(y))
+	if _, err := TrainBinary(enc, x, zeros, 3); err == nil {
+		t.Error("accepted empty class")
+	}
+}
+
+func TestBinaryLearnsBlobs(t *testing.T) {
+	x, y := blobs(2000, 10, 4, 0.3, 401, 1)
+	xt, yt := blobs(500, 10, 4, 0.3, 401, 2)
+	m, err := TrainBinary(encoder.NewRBF(10, 2048, 0, 7), x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Evaluate(xt, yt); acc < 0.85 {
+		t.Errorf("binary HDC accuracy = %v, want >= 0.85", acc)
+	}
+	if m.Dim() != 2048 || m.NumClasses() != 4 {
+		t.Fatalf("shape %dx%d", m.NumClasses(), m.Dim())
+	}
+	if m.MemoryBits() != 4*2048 {
+		t.Fatalf("MemoryBits = %d", m.MemoryBits())
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	x, y := blobs(300, 6, 3, 0.3, 402, 1)
+	a, err := TrainBinary(encoder.NewRBF(6, 256, 0, 3), x, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := TrainBinary(encoder.NewRBF(6, 256, 0, 3), x, y, 3)
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 256; d++ {
+			if a.Class.Rows[c].Get(d) != b.Class.Rows[c].Get(d) {
+				t.Fatal("same-seed binary training differs")
+			}
+		}
+	}
+}
+
+func TestBinaryPredictBatchMatchesPredict(t *testing.T) {
+	x, y := blobs(200, 6, 3, 0.3, 403, 1)
+	m, err := TrainBinary(encoder.NewRBF(6, 256, 0, 3), x, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(x)
+	for _, i := range []int{0, 50, 199} {
+		if p := m.Predict(x.Row(i)); p != batch[i] {
+			t.Fatalf("row %d: %d != %d", i, p, batch[i])
+		}
+	}
+}
+
+func TestOnlineTrainerConvergesOnStream(t *testing.T) {
+	x, y := blobs(3000, 8, 3, 0.3, 404, 1)
+	xt, yt := blobs(600, 8, 3, 0.3, 404, 2)
+	tr, err := NewOnlineTrainer(encoder.NewRBF(8, 256, 0, 5),
+		Options{Classes: 3, LearningRate: 0.1, RegenRate: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows; i++ {
+		if _, err := tr.Observe(x.Row(i), y[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && i%1000 == 0 {
+			tr.Regenerate()
+		}
+	}
+	if tr.Seen() != 3000 {
+		t.Fatalf("Seen = %d", tr.Seen())
+	}
+	if tr.Updates() == 0 || tr.Updates() > tr.Seen() {
+		t.Fatalf("Updates = %d", tr.Updates())
+	}
+	m := tr.Model()
+	if m.EffectiveDim <= 256 {
+		t.Fatalf("regeneration did not grow D*: %d", m.EffectiveDim)
+	}
+	if acc := m.Evaluate(xt, yt); acc < 0.85 {
+		t.Errorf("online accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestOnlineTrainerRejectsBadLabel(t *testing.T) {
+	tr, err := NewOnlineTrainer(encoder.NewRBF(4, 32, 0, 1), Options{Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe(make([]float32, 4), 7); err == nil {
+		t.Fatal("accepted out-of-range label")
+	}
+}
+
+func TestOnlineTrainerNoRegenWithZeroRate(t *testing.T) {
+	tr, err := NewOnlineTrainer(encoder.NewRBF(4, 32, 0, 1), Options{Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Regenerate(); n != 0 {
+		t.Fatalf("zero-rate trainer regenerated %d dims", n)
+	}
+	if tr.Model().EffectiveDim != 32 {
+		t.Fatal("effective dim changed")
+	}
+}

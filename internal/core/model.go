@@ -1,0 +1,316 @@
+// Package core implements the paper's primary contribution: the CyberHD
+// learning framework — adaptive hyperdimensional classification with
+// variance-based identification and regeneration of insignificant
+// dimensions — together with the static-encoder BaselineHD it is compared
+// against.
+//
+// The training loop follows Fig. 2 of the paper:
+//
+//	A  encode training data into hyperspace
+//	B  adaptive learning: similarity-weighted updates on mispredictions
+//	D  normalize the class hypervector matrix
+//	F  per-dimension variance across classes
+//	G  drop the R% lowest-variance dimensions
+//	H  regenerate those encoder base vectors, refresh encodings, retrain
+//
+// Effective dimensionality D* = physical D + Σ regenerated dimensions; the
+// headline claim is that CyberHD at physical D matches BaselineHD at D*.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+// Options configures training.
+type Options struct {
+	// Classes is the number of labels. Required.
+	Classes int
+	// LearningRate is η in the adaptive update. Defaults to 0.035.
+	LearningRate float64
+	// Epochs is the number of adaptive passes per regeneration cycle
+	// (and the total passes for BaselineHD). Defaults to 5.
+	Epochs int
+	// RegenCycles is the number of drop/regenerate rounds. 0 disables
+	// regeneration, which is exactly BaselineHD.
+	RegenCycles int
+	// RegenRate is R, the fraction of dimensions dropped per cycle.
+	// Defaults to 0.2 when RegenCycles > 0.
+	RegenRate float64
+	// Seed drives sample shuffling. Encoder randomness is owned by the
+	// encoder itself.
+	Seed uint64
+	// DropSelector overrides the choice of dimensions to drop each cycle
+	// (an ablation hook: e.g. random drop instead of lowest-variance).
+	// Given the model and the requested count it returns dimension
+	// indices. Nil selects the paper's lowest-variance rule.
+	DropSelector func(m *Model, drop int) []int
+}
+
+func (o *Options) defaults() {
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.035
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 5
+	}
+	if o.RegenCycles > 0 && o.RegenRate <= 0 {
+		o.RegenRate = 0.2
+	}
+}
+
+func (o Options) validate() error {
+	if o.Classes < 2 {
+		return fmt.Errorf("core: need at least 2 classes, got %d", o.Classes)
+	}
+	if o.RegenRate < 0 || o.RegenRate >= 1 {
+		return fmt.Errorf("core: regen rate %v outside [0, 1)", o.RegenRate)
+	}
+	return nil
+}
+
+// CycleStats records one regeneration cycle for effective-dimensionality
+// accounting and ablation reporting.
+type CycleStats struct {
+	Cycle        int     // 0 is the initial training round (no drop)
+	Dropped      int     // dimensions regenerated entering this cycle
+	EffectiveDim int     // cumulative D* after this cycle
+	TrainAcc     float64 // training accuracy at end of cycle
+}
+
+// Model is a trained HDC classifier: an encoder plus one hypervector per
+// class.
+type Model struct {
+	Enc encoder.Encoder
+	// Class is the k×D class hypervector matrix.
+	Class *hdc.Matrix
+	// EffectiveDim is D* = D + Σ dimensions regenerated during training.
+	EffectiveDim int
+	// History holds per-cycle statistics in training order.
+	History []CycleStats
+
+	opts     Options
+	rowNorms []float64
+}
+
+// Train fits a CyberHD (or, with RegenCycles == 0, BaselineHD) model.
+// x is the n×f feature matrix, y the n labels in [0, opts.Classes).
+// The encoder enc is mutated by regeneration and owned by the returned
+// model afterwards.
+func Train(enc encoder.Encoder, x *hdc.Matrix, y []int, opts Options) (*Model, error) {
+	opts.defaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("core: %d samples but %d labels", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	for i, l := range y {
+		if l < 0 || l >= opts.Classes {
+			return nil, fmt.Errorf("core: label %d at sample %d outside [0, %d)", l, i, opts.Classes)
+		}
+	}
+	m := &Model{
+		Enc:          enc,
+		Class:        hdc.NewMatrix(opts.Classes, enc.Dim()),
+		EffectiveDim: enc.Dim(),
+		opts:         opts,
+	}
+	r := rng.New(opts.Seed)
+	enc2 := encoder.EncodeBatch(enc, x) // A: encode once, refresh per cycle
+
+	// Bootstrap pass (one-shot bundling) gives adaptive learning a
+	// non-degenerate similarity landscape to start from.
+	for i := 0; i < x.Rows; i++ {
+		hdc.Axpy(1, enc2.Row(i), m.Class.Row(y[i]))
+	}
+	m.refreshNorms()
+
+	m.adaptiveEpochs(enc2, y, r)
+	m.History = append(m.History, CycleStats{
+		Cycle: 0, EffectiveDim: m.EffectiveDim, TrainAcc: m.evaluateEncoded(enc2, y),
+	})
+
+	drop := int(opts.RegenRate * float64(enc.Dim()))
+	for cycle := 1; cycle <= opts.RegenCycles; cycle++ {
+		if drop == 0 {
+			break
+		}
+		dims := m.insignificantDims(drop) // D,E,F,G
+		if opts.DropSelector != nil {
+			dims = opts.DropSelector(m, drop)
+		}
+		m.Class.ZeroColumns(dims)
+		enc.Regenerate(dims) // H
+		encoder.EncodeDimsBatch(enc, x, enc2, dims)
+		m.EffectiveDim += len(dims)
+		m.refreshNorms()
+		m.adaptiveEpochs(enc2, y, r)
+		m.History = append(m.History, CycleStats{
+			Cycle: cycle, Dropped: len(dims), EffectiveDim: m.EffectiveDim,
+			TrainAcc: m.evaluateEncoded(enc2, y),
+		})
+	}
+	return m, nil
+}
+
+// adaptiveEpochs runs opts.Epochs passes of similarity-weighted updates
+// over the encoded training set in shuffled order.
+func (m *Model) adaptiveEpochs(enc2 *hdc.Matrix, y []int, r *rng.Rand) {
+	order := make([]int, enc2.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	sims := make([]float64, m.Class.Rows)
+	for e := 0; e < m.opts.Epochs; e++ {
+		r.ShuffleInts(order)
+		for _, i := range order {
+			m.updateOne(enc2.Row(i), y[i], sims)
+		}
+	}
+}
+
+// updateOne applies the paper's adaptive rule to a single encoded sample:
+// on misprediction, C_l += η(1−δ_l)·H and C_l' −= η(1−δ_l')·H, where a high
+// similarity δ means the pattern is already represented and the update is
+// scaled down.
+func (m *Model) updateOne(h []float32, label int, sims []float64) bool {
+	hdc.Similarities(m.Class, h, m.rowNorms, sims)
+	pred := argmax(sims)
+	if pred == label {
+		return false
+	}
+	eta := m.opts.LearningRate
+	hdc.Axpy(float32(eta*(1-sims[label])), h, m.Class.Row(label))
+	hdc.Axpy(float32(-eta*(1-sims[pred])), h, m.Class.Row(pred))
+	m.rowNorms[label] = hdc.Norm(m.Class.Row(label))
+	m.rowNorms[pred] = hdc.Norm(m.Class.Row(pred))
+	return true
+}
+
+// insignificantDims returns the indices of the `drop` lowest-variance
+// dimensions of the row-normalized class matrix (paper steps D–G). The
+// model itself is not normalized; variance is computed on a copy.
+func (m *Model) insignificantDims(drop int) []int {
+	normed := m.Class.Clone()
+	normed.NormalizeRows()
+	variance := make([]float64, normed.Cols)
+	normed.ColumnVariance(variance)
+	idx := make([]int, len(variance))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if variance[idx[a]] != variance[idx[b]] {
+			return variance[idx[a]] < variance[idx[b]]
+		}
+		return idx[a] < idx[b] // deterministic tie-break
+	})
+	if drop > len(idx) {
+		drop = len(idx)
+	}
+	out := append([]int(nil), idx[:drop]...)
+	sort.Ints(out)
+	return out
+}
+
+func (m *Model) refreshNorms() { m.rowNorms = m.Class.RowNorms() }
+
+func argmax(v []float64) int {
+	best, bv := 0, math.Inf(-1)
+	for i, x := range v {
+		if x > bv {
+			best, bv = i, x
+		}
+	}
+	return best
+}
+
+// Dim returns the physical hyperspace dimensionality.
+func (m *Model) Dim() int { return m.Class.Cols }
+
+// NumClasses returns the number of classes.
+func (m *Model) NumClasses() int { return m.Class.Rows }
+
+// Predict encodes x and returns the most similar class (paper steps I, J).
+func (m *Model) Predict(x []float32) int {
+	h := make([]float32, m.Enc.Dim())
+	m.Enc.Encode(x, h)
+	return m.PredictEncoded(h)
+}
+
+// PredictEncoded classifies an already-encoded hypervector.
+func (m *Model) PredictEncoded(h []float32) int {
+	pred, _ := hdc.ArgmaxCosine(m.Class, h)
+	return pred
+}
+
+// PredictBatch classifies every row of x in parallel.
+func (m *Model) PredictBatch(x *hdc.Matrix) []int {
+	out := make([]int, x.Rows)
+	hdc.ParallelChunks(x.Rows, func(lo, hi int) {
+		h := make([]float32, m.Enc.Dim())
+		for i := lo; i < hi; i++ {
+			m.Enc.Encode(x.Row(i), h)
+			out[i] = m.PredictEncoded(h)
+		}
+	})
+	return out
+}
+
+// Evaluate returns accuracy of the model on the feature matrix x with
+// labels y.
+func (m *Model) Evaluate(x *hdc.Matrix, y []int) float64 {
+	preds := m.PredictBatch(x)
+	correct := 0
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// evaluateEncoded returns accuracy over a pre-encoded matrix.
+func (m *Model) evaluateEncoded(enc2 *hdc.Matrix, y []int) float64 {
+	correct := 0
+	counts := make([]int, enc2.Rows)
+	hdc.ParallelFor(enc2.Rows, func(i int) {
+		if m.PredictEncoded(enc2.Row(i)) == y[i] {
+			counts[i] = 1
+		}
+	})
+	for _, c := range counts {
+		correct += c
+	}
+	return float64(correct) / float64(enc2.Rows)
+}
+
+// TotalRegenerated returns the number of dimensions regenerated across all
+// cycles (D* − D).
+func (m *Model) TotalRegenerated() int { return m.EffectiveDim - m.Dim() }
+
+// Update performs one online adaptive step on a labeled sample (the
+// streaming pipeline's feedback path): the sample is encoded and, on
+// misprediction, the class hypervectors are corrected with the paper's
+// similarity-weighted rule. It reports whether the model changed.
+func (m *Model) Update(x []float32, label int) bool {
+	if label < 0 || label >= m.NumClasses() {
+		panic("core: Update label out of range")
+	}
+	if m.rowNorms == nil {
+		m.refreshNorms()
+	}
+	h := make([]float32, m.Enc.Dim())
+	m.Enc.Encode(x, h)
+	sims := make([]float64, m.Class.Rows)
+	return m.updateOne(h, label, sims)
+}

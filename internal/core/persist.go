@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+)
+
+// modelState is the gob wire format of a Model. The encoder is captured
+// through encoder.State, including its RNG continuation, so a reloaded
+// model classifies identically and future regeneration draws continue the
+// saved stream.
+type modelState struct {
+	Version              int
+	ClassRows, ClassCols int
+	ClassData            []float32
+	EffectiveDim         int
+	History              []CycleStats
+	Opts                 persistedOptions
+	Encoder              encoder.State
+}
+
+// persistedOptions mirrors Options without the non-serializable
+// DropSelector hook (ablation-only; a loaded model falls back to the
+// paper's variance rule).
+type persistedOptions struct {
+	Classes      int
+	LearningRate float64
+	Epochs       int
+	RegenCycles  int
+	RegenRate    float64
+	Seed         uint64
+}
+
+const modelStateVersion = 1
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	encState, err := encoder.CaptureState(m.Enc)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	state := modelState{
+		Version:   modelStateVersion,
+		ClassRows: m.Class.Rows, ClassCols: m.Class.Cols,
+		ClassData:    m.Class.Data,
+		EffectiveDim: m.EffectiveDim,
+		History:      m.History,
+		Opts: persistedOptions{
+			Classes: m.opts.Classes, LearningRate: m.opts.LearningRate,
+			Epochs: m.opts.Epochs, RegenCycles: m.opts.RegenCycles,
+			RegenRate: m.opts.RegenRate, Seed: m.opts.Seed,
+		},
+		Encoder: encState,
+	}
+	return gob.NewEncoder(w).Encode(&state)
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var state modelState
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if state.Version != modelStateVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", state.Version)
+	}
+	if len(state.ClassData) != state.ClassRows*state.ClassCols {
+		return nil, fmt.Errorf("core: corrupt class matrix (%d values for %d×%d)",
+			len(state.ClassData), state.ClassRows, state.ClassCols)
+	}
+	enc, err := encoder.FromState(state.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if enc.Dim() != state.ClassCols {
+		return nil, fmt.Errorf("core: encoder dim %d != class dim %d", enc.Dim(), state.ClassCols)
+	}
+	m := &Model{
+		Enc: enc,
+		Class: &hdc.Matrix{
+			Rows: state.ClassRows, Cols: state.ClassCols,
+			Data: append([]float32(nil), state.ClassData...),
+		},
+		EffectiveDim: state.EffectiveDim,
+		History:      state.History,
+		opts: Options{
+			Classes: state.Opts.Classes, LearningRate: state.Opts.LearningRate,
+			Epochs: state.Opts.Epochs, RegenCycles: state.Opts.RegenCycles,
+			RegenRate: state.Opts.RegenRate, Seed: state.Opts.Seed,
+		},
+	}
+	m.refreshNorms()
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,98 @@
+package datasets
+
+import (
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/traffic"
+)
+
+// FromStream assembles a labeled packet stream into a flow-feature
+// dataset: the honest CICFlowMeter-style derivation. classOf maps traffic
+// labels to dataset class indices (return -1 to drop a flow); classNames
+// names the resulting classes.
+func FromStream(name string, s *traffic.Stream, classNames []string, classOf func(traffic.Label) int) *Dataset {
+	var feats [][]float32
+	var labels []int
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
+		label, ok := s.Labels[f.Key]
+		if !ok {
+			return
+		}
+		c := classOf(label)
+		if c < 0 {
+			return
+		}
+		feats = append(feats, f.Features())
+		labels = append(labels, c)
+	})
+	for i := range s.Packets {
+		a.Add(&s.Packets[i])
+	}
+	a.Flush()
+	ds := &Dataset{
+		Name:         name,
+		FeatureNames: netflow.FeatureNames(),
+		ClassNames:   classNames,
+		X:            hdc.NewMatrix(len(feats), netflow.NumFeatures),
+		Y:            labels,
+	}
+	for i, f := range feats {
+		copy(ds.X.Row(i), f)
+	}
+	return ds
+}
+
+// CICIDS2017 generates the CIC-IDS-2017 reconstruction: packet-level
+// traffic across all eight 2017 classes, assembled and featurized into 78
+// CIC features. sessions controls capture size (flow count is larger:
+// scan/brute-force sessions expand into many flows).
+func CICIDS2017(sessions int, seed uint64) *Dataset {
+	s := traffic.Generate(traffic.Config{Sessions: sessions, Seed: seed})
+	return FromStream("cic-ids-2017", s, traffic.LabelNames(), func(l traffic.Label) int { return int(l) })
+}
+
+// CICIDS2018 generates the CSE-CIC-IDS-2018 reconstruction. 2018 drops
+// the port-scan category and shifts the mix toward DDoS/botnet traffic;
+// flows are the same 78 CIC features.
+func CICIDS2018(sessions int, seed uint64) *Dataset {
+	mix := map[traffic.Label]float64{
+		traffic.Benign: 0.72, traffic.DoS: 0.07, traffic.DDoS: 0.09,
+		traffic.BruteForce: 0.05, traffic.WebAttack: 0.02,
+		traffic.Botnet: 0.03, traffic.Infiltration: 0.02,
+	}
+	s := traffic.Generate(traffic.Config{Sessions: sessions, Seed: seed, Mix: mix})
+	classNames := []string{"benign", "dos", "ddos", "bruteforce", "webattack", "botnet", "infiltration"}
+	remap := map[traffic.Label]int{
+		traffic.Benign: 0, traffic.DoS: 1, traffic.DDoS: 2,
+		traffic.BruteForce: 3, traffic.WebAttack: 4,
+		traffic.Botnet: 5, traffic.Infiltration: 6,
+	}
+	return FromStream("cic-ids-2018", s, classNames, func(l traffic.Label) int {
+		if c, ok := remap[l]; ok {
+			return c
+		}
+		return -1
+	})
+}
+
+// ByName builds any of the four paper datasets by canonical name with a
+// target sample budget. For the CIC sets, n is a session budget and the
+// resulting flow count differs.
+func ByName(name string, n int, seed uint64) (*Dataset, bool) {
+	switch name {
+	case "nsl-kdd":
+		return NSLKDD(n, seed), true
+	case "unsw-nb15":
+		return UNSWNB15(n, seed), true
+	case "cic-ids-2017":
+		return CICIDS2017(n, seed), true
+	case "cic-ids-2018":
+		return CICIDS2018(n, seed), true
+	}
+	return nil, false
+}
+
+// PaperDatasets lists the four dataset names in the order of Fig 3/4.
+func PaperDatasets() []string {
+	return []string{"nsl-kdd", "unsw-nb15", "cic-ids-2017", "cic-ids-2018"}
+}

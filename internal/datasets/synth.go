@@ -1,0 +1,234 @@
+package datasets
+
+import (
+	"math"
+
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+// tabularSpec parameterizes the latent-factor synthesizer behind the
+// NSL-KDD and UNSW-NB15 reconstructions.
+//
+// Samples of class c are drawn as x = g(W·(z + sep·μ_c)) + ε where z is a
+// latent Gaussian, μ_c a per-class direction, W a shared mixing matrix and
+// g a per-feature nonlinearity (tanh for rate-like features, expm1 of a
+// scaled tanh for heavy-tailed byte counters). Categorical features are
+// drawn from per-class distributions. Classes therefore overlap in feature
+// space with non-linear boundaries — the regime where the paper's RBF
+// encoder matters — while remaining learnable.
+type tabularSpec struct {
+	name         string
+	classNames   []string
+	classWeights []float64
+	// continuous features
+	numContinuous int
+	heavyTailed   int // how many of the continuous features are byte-counter-like
+	latentDim     int
+	sep           float64
+	noise         float64
+	// categorical features appended after the continuous block
+	catCardinality []int
+	featureNames   []string
+}
+
+// synthesize draws n samples from the spec.
+func synthesize(spec tabularSpec, n int, seed uint64) *Dataset {
+	structR := rng.New(seed) // model structure: stable across n
+	k := len(spec.classNames)
+	f := spec.numContinuous + len(spec.catCardinality)
+
+	// Shared mixing matrix and per-class latent means. Every class is a
+	// mixture of `modes` latent Gaussians, so class regions are nonconvex:
+	// one-vs-rest linear separators cannot carve them cleanly, while
+	// kernel-style encoders (the paper's RBF) can.
+	const modes = 3
+	w := hdc.NewMatrix(spec.numContinuous, spec.latentDim)
+	structR.FillNorm(w.Data, 0, 1/math.Sqrt(float64(spec.latentDim)))
+	mu := hdc.NewMatrix(k*modes, spec.latentDim)
+	structR.FillNorm(mu.Data, 0, 1)
+
+	// Per-class categorical distributions: a shared base plus class tilt.
+	catDist := make([][][]float64, len(spec.catCardinality))
+	for ci, card := range spec.catCardinality {
+		catDist[ci] = make([][]float64, k)
+		base := make([]float64, card)
+		for v := range base {
+			base[v] = 0.2 + structR.Float64()
+		}
+		for c := 0; c < k; c++ {
+			dist := make([]float64, card)
+			for v := range dist {
+				dist[v] = base[v]
+			}
+			// Tilt 1–2 values per class so categories are informative.
+			for tilt := 0; tilt < 2; tilt++ {
+				dist[structR.Intn(card)] += 1.5 + structR.Float64()
+			}
+			catDist[ci][c] = dist
+		}
+	}
+
+	// Class sample counts by largest remainder, with a floor of 2 so every
+	// class survives a stratified split.
+	counts := apportion(spec.classWeights, n)
+
+	sampleR := rng.New(seed ^ 0xdecafbad)
+	ds := &Dataset{
+		Name:         spec.name,
+		FeatureNames: spec.featureNames,
+		ClassNames:   spec.classNames,
+		X:            hdc.NewMatrix(n, f),
+		Y:            make([]int, n),
+	}
+	row := 0
+	z := make([]float32, spec.latentDim)
+	cont := make([]float32, spec.numContinuous)
+	for c := 0; c < k; c++ {
+		for s := 0; s < counts[c]; s++ {
+			mode := c*modes + sampleR.Intn(modes)
+			for j := range z {
+				z[j] = float32(float64(mu.At(mode, j))*spec.sep + sampleR.Norm())
+			}
+			w.MulVec(z, cont)
+			out := ds.X.Row(row)
+			for j := 0; j < spec.numContinuous; j++ {
+				v := math.Tanh(float64(cont[j])) + spec.noise*sampleR.Norm()
+				if j < spec.heavyTailed {
+					// Byte/count-like: non-negative, heavy-tailed.
+					v = math.Expm1(math.Abs(v) * 3)
+				}
+				out[j] = float32(v)
+			}
+			for ci := range spec.catCardinality {
+				out[spec.numContinuous+ci] = float32(sampleR.Categorical(catDist[ci][c]))
+			}
+			ds.Y[row] = c
+			row++
+		}
+	}
+	// Shuffle rows so class blocks do not bias split-free consumers.
+	perm := sampleR.Perm(n)
+	shuffled := ds.Subset(perm)
+	return shuffled
+}
+
+// apportion splits n into len(weights) integer counts proportional to
+// weights (largest remainder), flooring each non-zero-weight class at 2.
+func apportion(weights []float64, n int) []int {
+	k := len(weights)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	counts := make([]int, k)
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, k)
+	used := 0
+	for i, w := range weights {
+		exact := float64(n) * w / total
+		counts[i] = int(exact)
+		rems = append(rems, rem{i, exact - float64(counts[i])})
+		used += counts[i]
+	}
+	// Distribute leftovers to the largest remainders.
+	for n-used > 0 {
+		best := 0
+		for j := 1; j < len(rems); j++ {
+			if rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		counts[rems[best].i]++
+		rems[best].frac = -1
+		used++
+	}
+	// Floor at 2, stealing from the largest class.
+	for i := range counts {
+		for weights[i] > 0 && counts[i] < 2 {
+			largest := 0
+			for j := range counts {
+				if counts[j] > counts[largest] {
+					largest = j
+				}
+			}
+			if largest == i || counts[largest] <= 2 {
+				break
+			}
+			counts[largest]--
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// NSLKDD synthesizes the NSL-KDD reconstruction: 41 features (38
+// continuous + 3 categorical: protocol_type, service, flag) and the five
+// standard classes with their training-set imbalance.
+func NSLKDD(n int, seed uint64) *Dataset {
+	contNames := []string{
+		"duration", "src_bytes", "dst_bytes", "wrong_fragment", "urgent",
+		"hot", "num_failed_logins", "logged_in", "num_compromised",
+		"root_shell", "su_attempted", "num_root", "num_file_creations",
+		"num_shells", "num_access_files", "num_outbound_cmds",
+		"is_host_login", "is_guest_login", "count", "srv_count",
+		"serror_rate", "srv_serror_rate", "rerror_rate", "srv_rerror_rate",
+		"same_srv_rate", "diff_srv_rate", "srv_diff_host_rate",
+		"dst_host_count", "dst_host_srv_count", "dst_host_same_srv_rate",
+		"dst_host_diff_srv_rate", "dst_host_same_src_port_rate",
+		"dst_host_srv_diff_host_rate", "dst_host_serror_rate",
+		"dst_host_srv_serror_rate", "dst_host_rerror_rate",
+		"dst_host_srv_rerror_rate", "land",
+	}
+	names := append(append([]string{}, contNames...), "protocol_type", "service", "flag")
+	return synthesize(tabularSpec{
+		name:       "nsl-kdd",
+		classNames: []string{"normal", "dos", "probe", "r2l", "u2r"},
+		// NSL-KDD KDDTrain+ distribution.
+		classWeights:   []float64{0.534, 0.365, 0.092, 0.0078, 0.0004},
+		numContinuous:  38,
+		heavyTailed:    3, // duration, src_bytes, dst_bytes
+		latentDim:      16,
+		sep:            1.55,
+		noise:          0.6,
+		catCardinality: []int{3, 20, 11}, // protocol, service (top-20), flag
+		featureNames:   names,
+	}, n, seed)
+}
+
+// UNSWNB15 synthesizes the UNSW-NB15 reconstruction: 42 features and the
+// ten classes (normal + 9 attack families) with published imbalance.
+func UNSWNB15(n int, seed uint64) *Dataset {
+	contNames := []string{
+		"dur", "sbytes", "dbytes", "sttl", "dttl", "sloss", "dloss",
+		"sload", "dload", "spkts", "dpkts", "swin", "dwin", "stcpb",
+		"dtcpb", "smeansz", "dmeansz", "trans_depth", "res_bdy_len",
+		"sjit", "djit", "sintpkt", "dintpkt", "tcprtt", "synack",
+		"ackdat", "is_sm_ips_ports", "ct_state_ttl", "ct_flw_http_mthd",
+		"is_ftp_login", "ct_ftp_cmd", "ct_srv_src", "ct_srv_dst",
+		"ct_dst_ltm", "ct_src_ltm", "ct_src_dport_ltm",
+		"ct_dst_sport_ltm", "ct_dst_src_ltm", "smean_seg",
+	}
+	names := append(append([]string{}, contNames...), "proto", "service", "state")
+	return synthesize(tabularSpec{
+		name: "unsw-nb15",
+		classNames: []string{
+			"normal", "generic", "exploits", "fuzzers", "dos",
+			"reconnaissance", "analysis", "backdoor", "shellcode", "worms",
+		},
+		classWeights: []float64{
+			0.4494, 0.2575, 0.1352, 0.0739, 0.0499,
+			0.0426, 0.0081, 0.0071, 0.0046, 0.0005,
+		},
+		numContinuous:  39,
+		heavyTailed:    3, // dur, sbytes, dbytes
+		latentDim:      18,
+		sep:            1.4,
+		noise:          0.6,
+		catCardinality: []int{3, 13, 7},
+		featureNames:   names,
+	}, n, seed)
+}

@@ -1,0 +1,325 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+func randInput(r *rng.Rand, n int) []float32 {
+	x := make([]float32, n)
+	r.FillNorm(x, 0, 1)
+	return x
+}
+
+func encoders(inDim, dim int, seed uint64) map[string]Encoder {
+	return map[string]Encoder{
+		"rbf":     NewRBF(inDim, dim, 0, seed),
+		"linear":  NewLinear(inDim, dim, seed),
+		"idlevel": NewIDLevel(inDim, dim, 16, -3, 3, seed),
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	r := rng.New(1)
+	x := randInput(r, 8)
+	for name, e := range encoders(8, 128, 42) {
+		a := make([]float32, 128)
+		b := make([]float32, 128)
+		e.Encode(x, a)
+		e.Encode(x, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: encode not deterministic at %d", name, i)
+				break
+			}
+		}
+		// Same seed, fresh encoder must agree.
+		e2 := encoders(8, 128, 42)[name]
+		e2.Encode(x, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: same-seed encoder differs at %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeDimsMatchesEncode(t *testing.T) {
+	r := rng.New(2)
+	x := randInput(r, 10)
+	dims := []int{0, 5, 63, 127}
+	for name, e := range encoders(10, 128, 7) {
+		full := make([]float32, 128)
+		e.Encode(x, full)
+		partial := make([]float32, 128)
+		e.EncodeDims(x, partial, dims)
+		for _, d := range dims {
+			if partial[d] != full[d] {
+				t.Errorf("%s: EncodeDims[%d] = %v, Encode = %v", name, d, partial[d], full[d])
+			}
+		}
+	}
+}
+
+func TestRegenerateChangesOnlyListedDims(t *testing.T) {
+	r := rng.New(3)
+	x := randInput(r, 12)
+	dims := []int{1, 50, 99}
+	inDims := map[int]bool{1: true, 50: true, 99: true}
+	for name, e := range encoders(12, 100, 11) {
+		before := make([]float32, 100)
+		e.Encode(x, before)
+		e.Regenerate(dims)
+		after := make([]float32, 100)
+		e.Encode(x, after)
+		for d := 0; d < 100; d++ {
+			if !inDims[d] && after[d] != before[d] {
+				t.Errorf("%s: untouched dim %d changed", name, d)
+			}
+		}
+		// At least one regenerated dim should actually differ (overwhelmingly
+		// likely with continuous draws; idlevel coordinate redraws can
+		// occasionally repeat, so require any change across the set).
+		changed := false
+		for _, d := range dims {
+			if after[d] != before[d] {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Errorf("%s: regeneration changed nothing", name)
+		}
+	}
+}
+
+func TestRegenerateOutOfRangePanics(t *testing.T) {
+	for name, e := range encoders(4, 16, 1) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on bad dim", name)
+				}
+			}()
+			e.Regenerate([]int{16})
+		}()
+	}
+}
+
+func TestEncodeLengthMismatchPanics(t *testing.T) {
+	for name, e := range encoders(4, 16, 1) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on bad input length", name)
+				}
+			}()
+			e.Encode(make([]float32, 3), make([]float32, 16))
+		}()
+	}
+}
+
+func TestRBFOutputRange(t *testing.T) {
+	e := NewRBF(6, 256, 0, 5)
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		x := randInput(r, 6)
+		dst := make([]float32, 256)
+		e.Encode(x, dst)
+		for i, v := range dst {
+			if v < -1 || v > 1 {
+				t.Fatalf("cos output out of range at %d: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestRBFSimilarInputsSimilarCodes(t *testing.T) {
+	// Locality: encodings of nearby inputs must be more similar than
+	// encodings of distant inputs (kernel property of RFF).
+	e := NewRBF(8, 2048, 0, 13)
+	r := rng.New(17)
+	x := randInput(r, 8)
+	near := append([]float32(nil), x...)
+	near[0] += 0.05
+	far := randInput(r, 8)
+	hx := make([]float32, 2048)
+	hn := make([]float32, 2048)
+	hf := make([]float32, 2048)
+	e.Encode(x, hx)
+	e.Encode(near, hn)
+	e.Encode(far, hf)
+	if hdc.Cosine(hx, hn) <= hdc.Cosine(hx, hf) {
+		t.Fatalf("locality violated: near %v <= far %v", hdc.Cosine(hx, hn), hdc.Cosine(hx, hf))
+	}
+}
+
+func TestLinearEncodeIsLinear(t *testing.T) {
+	e := NewLinear(5, 64, 3)
+	r := rng.New(21)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		x := randInput(rr, 5)
+		y := randInput(rr, 5)
+		sum := make([]float32, 5)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		hx := make([]float32, 64)
+		hy := make([]float32, 64)
+		hs := make([]float32, 64)
+		e.Encode(x, hx)
+		e.Encode(y, hy)
+		e.Encode(sum, hs)
+		for i := range hs {
+			if math.Abs(float64(hs[i]-(hx[i]+hy[i]))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDLevelQuantizeBounds(t *testing.T) {
+	e := NewIDLevel(3, 32, 8, 0, 1, 1)
+	if e.quantize(-5) != 0 {
+		t.Error("below-range value should map to level 0")
+	}
+	if e.quantize(5) != 7 {
+		t.Error("above-range value should map to top level")
+	}
+	if e.quantize(0.5) != 4 {
+		t.Errorf("mid value mapped to %d", e.quantize(0.5))
+	}
+}
+
+func TestIDLevelNearbyLevelsCorrelated(t *testing.T) {
+	e := NewIDLevel(4, 4096, 32, -1, 1, 77)
+	l0 := e.level.Row(0)
+	l1 := e.level.Row(1)
+	lLast := e.level.Row(31)
+	near := hdc.Cosine(l0, l1)
+	far := hdc.Cosine(l0, lLast)
+	if near < 0.8 {
+		t.Errorf("adjacent levels cosine = %v, want high", near)
+	}
+	if far > 0.5 {
+		t.Errorf("extreme levels cosine = %v, want low", far)
+	}
+}
+
+func TestIDLevelValuesBipolarSum(t *testing.T) {
+	// Each dimension of an encoding is a sum of inDim ±1 products, so its
+	// parity matches inDim and magnitude is bounded by inDim.
+	e := NewIDLevel(6, 64, 8, -2, 2, 5)
+	r := rng.New(33)
+	x := randInput(r, 6)
+	dst := make([]float32, 64)
+	e.Encode(x, dst)
+	for i, v := range dst {
+		iv := int(v)
+		if float32(iv) != v || iv < -6 || iv > 6 || (iv+6)%2 != 0 {
+			t.Fatalf("dim %d: %v is not a sum of 6 bipolar terms", i, v)
+		}
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	r := rng.New(41)
+	x := hdc.NewMatrix(500, 7)
+	r.FillNorm(x.Data, 0, 1)
+	e := NewRBF(7, 96, 0, 2)
+	out := EncodeBatch(e, x)
+	if out.Rows != 500 || out.Cols != 96 {
+		t.Fatalf("batch shape %dx%d", out.Rows, out.Cols)
+	}
+	// Spot-check rows against single encode.
+	want := make([]float32, 96)
+	for _, i := range []int{0, 250, 499} {
+		e.Encode(x.Row(i), want)
+		got := out.Row(i)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("row %d dim %d: %v != %v", i, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestEncodeBatchWrongColsPanics(t *testing.T) {
+	e := NewRBF(7, 96, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EncodeBatch(e, hdc.NewMatrix(5, 6))
+}
+
+func TestEncodeDimsBatchRefreshesCache(t *testing.T) {
+	r := rng.New(51)
+	x := hdc.NewMatrix(300, 5)
+	r.FillNorm(x.Data, 0, 1)
+	e := NewRBF(5, 64, 0, 3)
+	enc := EncodeBatch(e, x)
+	dims := []int{2, 31, 63}
+	e.Regenerate(dims)
+	EncodeDimsBatch(e, x, enc, dims)
+	fresh := EncodeBatch(e, x)
+	for i := 0; i < x.Rows; i++ {
+		for d := 0; d < 64; d++ {
+			if enc.At(i, d) != fresh.At(i, d) {
+				t.Fatalf("cache row %d dim %d stale after refresh", i, d)
+			}
+		}
+	}
+}
+
+func TestNewEncoderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRBF(0, 10, 0, 1) },
+		func() { NewLinear(10, 0, 1) },
+		func() { NewIDLevel(10, 10, 1, 0, 1, 1) },
+		func() { NewIDLevel(10, 10, 4, 1, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkRBFEncode512(b *testing.B) {
+	e := NewRBF(41, 512, 0, 1)
+	r := rng.New(1)
+	x := randInput(r, 41)
+	dst := make([]float32, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(x, dst)
+	}
+}
+
+func BenchmarkRBFEncode4096(b *testing.B) {
+	e := NewRBF(41, 4096, 0, 1)
+	r := rng.New(1)
+	x := randInput(r, 41)
+	dst := make([]float32, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(x, dst)
+	}
+}

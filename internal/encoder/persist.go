@@ -1,0 +1,99 @@
+package encoder
+
+import (
+	"fmt"
+
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+// State is the serializable form of any built-in encoder, used by model
+// persistence. Exactly one of the kind-specific fields is populated,
+// selected by Kind.
+type State struct {
+	Kind string // "rbf", "linear" or "idlevel"
+
+	// Common shape.
+	InDim, Dim int
+
+	// RNG continuation so regeneration draws after a reload continue the
+	// exact stream of the saved encoder.
+	RNG rng.State
+
+	// rbf / linear
+	Base  []float32
+	Bias  []float32 // rbf only
+	Gamma float64   // rbf only
+
+	// idlevel
+	Levels  int
+	Lo, Hi  float32
+	ID      []float32
+	LevelHV []float32
+}
+
+// CaptureState extracts the serializable state of a built-in encoder. It
+// fails for encoder implementations this package does not know.
+func CaptureState(e Encoder) (State, error) {
+	switch enc := e.(type) {
+	case *RBF:
+		return State{
+			Kind: "rbf", InDim: enc.InDim(), Dim: enc.Dim(),
+			RNG:   enc.r.State(),
+			Base:  append([]float32(nil), enc.base.Data...),
+			Bias:  append([]float32(nil), enc.bias...),
+			Gamma: enc.gamma,
+		}, nil
+	case *Linear:
+		return State{
+			Kind: "linear", InDim: enc.InDim(), Dim: enc.Dim(),
+			RNG:  enc.r.State(),
+			Base: append([]float32(nil), enc.base.Data...),
+		}, nil
+	case *IDLevel:
+		return State{
+			Kind: "idlevel", InDim: enc.InDim(), Dim: enc.Dim(),
+			RNG:    enc.r.State(),
+			Levels: enc.levels, Lo: enc.lo, Hi: enc.hi,
+			ID:      append([]float32(nil), enc.id.Data...),
+			LevelHV: append([]float32(nil), enc.level.Data...),
+		}, nil
+	}
+	return State{}, fmt.Errorf("encoder: cannot capture state of %T", e)
+}
+
+// FromState reconstructs an encoder from its captured state.
+func FromState(s State) (Encoder, error) {
+	switch s.Kind {
+	case "rbf":
+		if len(s.Base) != s.Dim*s.InDim || len(s.Bias) != s.Dim {
+			return nil, fmt.Errorf("encoder: rbf state shape mismatch")
+		}
+		e := &RBF{
+			base:  &hdc.Matrix{Rows: s.Dim, Cols: s.InDim, Data: append([]float32(nil), s.Base...)},
+			bias:  append([]float32(nil), s.Bias...),
+			gamma: s.Gamma,
+			r:     rng.FromState(s.RNG),
+		}
+		return e, nil
+	case "linear":
+		if len(s.Base) != s.Dim*s.InDim {
+			return nil, fmt.Errorf("encoder: linear state shape mismatch")
+		}
+		return &Linear{
+			base: &hdc.Matrix{Rows: s.Dim, Cols: s.InDim, Data: append([]float32(nil), s.Base...)},
+			r:    rng.FromState(s.RNG),
+		}, nil
+	case "idlevel":
+		if len(s.ID) != s.InDim*s.Dim || len(s.LevelHV) != s.Levels*s.Dim || s.Levels < 2 {
+			return nil, fmt.Errorf("encoder: idlevel state shape mismatch")
+		}
+		return &IDLevel{
+			inDim: s.InDim, dim: s.Dim, levels: s.Levels, lo: s.Lo, hi: s.Hi,
+			id:    &hdc.Matrix{Rows: s.InDim, Cols: s.Dim, Data: append([]float32(nil), s.ID...)},
+			level: &hdc.Matrix{Rows: s.Levels, Cols: s.Dim, Data: append([]float32(nil), s.LevelHV...)},
+			r:     rng.FromState(s.RNG),
+		}, nil
+	}
+	return nil, fmt.Errorf("encoder: unknown encoder kind %q", s.Kind)
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fig3 runs the accuracy comparison (paper Fig. 3) over the given datasets
+// (nil = all four paper datasets) and returns results grouped per dataset.
+func Fig3(names []string, cfg Config) (map[string][]Result, error) {
+	return runAll(names, cfg)
+}
+
+// Fig4 runs the efficiency comparison (paper Fig. 4). It reuses the same
+// trained models as Fig 3 — call runAll once and render both views when
+// you need both figures.
+func Fig4(names []string, cfg Config) (map[string][]Result, error) {
+	return runAll(names, cfg)
+}
+
+func runAll(names []string, cfg Config) (map[string][]Result, error) {
+	if names == nil {
+		names = paperDatasetNames()
+	}
+	out := make(map[string][]Result, len(names))
+	for _, name := range names {
+		res, err := RunComparison(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+func paperDatasetNames() []string {
+	return []string{"nsl-kdd", "unsw-nb15", "cic-ids-2017", "cic-ids-2018"}
+}
+
+// WriteFig3 renders the accuracy table in the layout of the paper's bar
+// chart: one row per model, one column per dataset, plus the paper's
+// summary deltas.
+func WriteFig3(w io.Writer, results map[string][]Result) {
+	names := orderedDatasets(results)
+	fmt.Fprintf(w, "Fig 3 — Accuracy (%%)\n%-16s", "model")
+	for _, d := range names {
+		fmt.Fprintf(w, " %14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, model := range ModelNames {
+		fmt.Fprintf(w, "%-16s", model)
+		for _, d := range names {
+			fmt.Fprintf(w, " %14.2f", 100*find(results[d], model).Accuracy)
+		}
+		fmt.Fprintln(w)
+	}
+	// Paper-style aggregate claims.
+	cyber := meanAcc(results, "CyberHD")
+	fmt.Fprintf(w, "\nmean CyberHD − SVM:             %+.2f pp (paper: +1.63)\n", 100*(cyber-meanAcc(results, "SVM")))
+	fmt.Fprintf(w, "mean CyberHD − BaselineHD-0.5k: %+.2f pp (paper: +4.28)\n", 100*(cyber-meanAcc(results, "BaselineHD-0.5k")))
+	fmt.Fprintf(w, "mean CyberHD − BaselineHD-4k:   %+.2f pp (paper: comparable)\n", 100*(cyber-meanAcc(results, "BaselineHD-4k")))
+	fmt.Fprintf(w, "mean CyberHD − DNN:             %+.2f pp (paper: comparable)\n", 100*(cyber-meanAcc(results, "DNN")))
+}
+
+// WriteFig4 renders training-time and inference-latency tables (the
+// paper's two log-scale bar charts) plus the headline speedups.
+func WriteFig4(w io.Writer, results map[string][]Result) {
+	names := orderedDatasets(results)
+	fmt.Fprintf(w, "Fig 4a — Training time (s)\n%-16s", "model")
+	for _, d := range names {
+		fmt.Fprintf(w, " %14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, model := range ModelNames {
+		fmt.Fprintf(w, "%-16s", model)
+		for _, d := range names {
+			fmt.Fprintf(w, " %14.3f", find(results[d], model).TrainTime.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nFig 4b — Inference latency per query (µs)\n%-16s", "model")
+	for _, d := range names {
+		fmt.Fprintf(w, " %14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, model := range ModelNames {
+		fmt.Fprintf(w, "%-16s", model)
+		for _, d := range names {
+			fmt.Fprintf(w, " %14.2f", float64(find(results[d], model).PerQuery().Nanoseconds())/1e3)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nmean DNN/CyberHD train speedup:        %.2f× (paper: 2.47×)\n",
+		meanRatio(results, "DNN", "CyberHD", trainSeconds))
+	fmt.Fprintf(w, "mean BaselineHD-4k/CyberHD train:      %.2f× (paper: 1.85×)\n",
+		meanRatio(results, "BaselineHD-4k", "CyberHD", trainSeconds))
+	fmt.Fprintf(w, "mean BaselineHD-4k/CyberHD inference:  %.2f× (paper: 15.29×)\n",
+		meanRatio(results, "BaselineHD-4k", "CyberHD", inferPerQuery))
+}
+
+func trainSeconds(r Result) float64  { return r.TrainTime.Seconds() }
+func inferPerQuery(r Result) float64 { return float64(r.PerQuery().Nanoseconds()) }
+
+func orderedDatasets(results map[string][]Result) []string {
+	var names []string
+	for _, d := range paperDatasetNames() {
+		if _, ok := results[d]; ok {
+			names = append(names, d)
+		}
+	}
+	for d := range results {
+		if !contains(names, d) {
+			names = append(names, d)
+		}
+	}
+	return names
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// find returns the result for model within rs (zero Result if absent).
+func find(rs []Result, model string) Result {
+	for _, r := range rs {
+		if r.Model == model {
+			return r
+		}
+	}
+	return Result{Model: model}
+}
+
+func meanAcc(results map[string][]Result, model string) float64 {
+	var sum float64
+	n := 0
+	for _, rs := range results {
+		sum += find(rs, model).Accuracy
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func meanRatio(results map[string][]Result, num, den string, f func(Result) float64) float64 {
+	var sum float64
+	n := 0
+	for _, rs := range results {
+		d := f(find(rs, den))
+		if d == 0 {
+			continue
+		}
+		sum += f(find(rs, num)) / d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Sprint renders any table writer into a string (test helper and CLI glue).
+func Sprint(render func(io.Writer)) string {
+	var b strings.Builder
+	render(&b)
+	return b.String()
+}

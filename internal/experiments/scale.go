@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cyberhd/internal/baseline/svm"
+	"cyberhd/internal/datasets"
+)
+
+// ScalePoint is one dataset-size measurement of the scalability sweep.
+type ScalePoint struct {
+	Samples           int
+	CyberHDTrain      time.Duration
+	KernelSVMTrain    time.Duration
+	CyberHDPerQuery   time.Duration
+	KernelSVMPerQuery time.Duration
+}
+
+// ScaleSweep supports the paper's motivation ("billions of network traffic
+// instances"; SVMs "take an extraordinarily long time"): it measures
+// training time and per-query inference latency of CyberHD against the
+// RBF-kernel SVM as the training set grows. CyberHD scales linearly in n;
+// kernel SVM training is O(n²)-flavored and its prediction cost grows with
+// the support-vector count, so the gap widens super-linearly.
+func ScaleSweep(sizes []int, cfg Config) ([]ScalePoint, error) {
+	cfg.defaults()
+	if sizes == nil {
+		sizes = []int{500, 1000, 2000, 4000}
+	}
+	var out []ScalePoint
+	for _, n := range sizes {
+		d := datasets.NSLKDD(n+n/4, cfg.Seed)
+		train, test, _ := d.NormalizedSplit(0.8, cfg.Seed+1)
+
+		t0 := time.Now()
+		cyber, err := TrainCyberHD(train, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		cyberTrain := time.Since(t0)
+
+		t0 = time.Now()
+		ksvm, err := svm.TrainKernel(train.X, train.Y, train.NumClasses(),
+			svm.KernelOptions{Epochs: 2, Seed: cfg.Seed + 3})
+		if err != nil {
+			return nil, err
+		}
+		svmTrain := time.Since(t0)
+
+		// Per-query latency over a bounded probe set.
+		probes := test.X.Rows
+		if probes > 200 {
+			probes = 200
+		}
+		t0 = time.Now()
+		for i := 0; i < probes; i++ {
+			cyber.Predict(test.X.Row(i))
+		}
+		cyberQ := time.Since(t0) / time.Duration(probes)
+		t0 = time.Now()
+		for i := 0; i < probes; i++ {
+			ksvm.Predict(test.X.Row(i))
+		}
+		svmQ := time.Since(t0) / time.Duration(probes)
+
+		out = append(out, ScalePoint{
+			Samples:           train.Len(),
+			CyberHDTrain:      cyberTrain,
+			KernelSVMTrain:    svmTrain,
+			CyberHDPerQuery:   cyberQ,
+			KernelSVMPerQuery: svmQ,
+		})
+	}
+	return out, nil
+}
+
+// WriteScaleSweep renders the sweep.
+func WriteScaleSweep(w io.Writer, points []ScalePoint) {
+	fmt.Fprintf(w, "Scalability — CyberHD vs kernel SVM as the training set grows\n")
+	fmt.Fprintf(w, "%10s %16s %16s %14s %14s\n",
+		"samples", "cyberhd train", "ksvm train", "cyberhd/query", "ksvm/query")
+	for _, p := range points {
+		fmt.Fprintf(w, "%10d %15.3fs %15.3fs %13.1fµs %13.1fµs\n",
+			p.Samples, p.CyberHDTrain.Seconds(), p.KernelSVMTrain.Seconds(),
+			float64(p.CyberHDPerQuery.Nanoseconds())/1e3,
+			float64(p.KernelSVMPerQuery.Nanoseconds())/1e3)
+	}
+	if len(points) >= 2 {
+		first, last := points[0], points[len(points)-1]
+		nRatio := float64(last.Samples) / float64(first.Samples)
+		fmt.Fprintf(w, "\n%.0f× more data → cyberhd train %.1f×, kernel svm train %.1f× (superlinear)\n",
+			nRatio,
+			last.CyberHDTrain.Seconds()/first.CyberHDTrain.Seconds(),
+			last.KernelSVMTrain.Seconds()/first.KernelSVMTrain.Seconds())
+	}
+}

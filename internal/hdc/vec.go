@@ -1,0 +1,163 @@
+// Package hdc implements the dense hypervector and matrix algebra that the
+// rest of the repository builds on: dot products, cosine similarity, norms,
+// scaled accumulation, matrix–vector products and per-dimension statistics.
+//
+// Hypervectors are flat []float32 slices. Reductions accumulate in float64
+// so that statistics over long vectors (norms, variances) stay accurate,
+// while storage and bandwidth remain float32 — matching the edge-device
+// framing of the paper. Hot loops are written 4-way unrolled over flat
+// slices so the compiler's bounds-check elimination and auto-vectorization
+// apply.
+package hdc
+
+import "math"
+
+// Dot returns the inner product of a and b accumulated in float64.
+// It panics if the lengths differ.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("hdc: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either vector
+// is all-zero (the conventional choice: a zero vector is similar to nothing).
+func Cosine(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Axpy computes y += alpha * x in place. It panics if the lengths differ.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("hdc: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float32, v []float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns the
+// original norm. An all-zero vector is left unchanged and 0 is returned.
+func Normalize(v []float32) float64 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// Zero clears v in place.
+func Zero(v []float32) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return out
+}
+
+// ArgmaxCosine returns the index of the row of m most cosine-similar to q
+// together with that similarity. Rows are the class hypervectors. When
+// norms of the rows are precomputed, use ArgmaxCosineNormed instead.
+func ArgmaxCosine(m *Matrix, q []float32) (best int, sim float64) {
+	best, sim = -1, math.Inf(-1)
+	nq := Norm(q)
+	if nq == 0 {
+		return 0, 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		nr := Norm(row)
+		var s float64
+		if nr > 0 {
+			s = Dot(row, q) / (nr * nq)
+		}
+		if s > sim {
+			best, sim = r, s
+		}
+	}
+	return best, sim
+}
+
+// Similarities writes the cosine similarity of q against every row of m
+// into out (len(out) must equal m.Rows) using precomputed row norms
+// rowNorms (may be nil, in which case norms are computed on the fly).
+func Similarities(m *Matrix, q []float32, rowNorms []float64, out []float64) {
+	if len(out) != m.Rows {
+		panic("hdc: Similarities out length mismatch")
+	}
+	nq := Norm(q)
+	for r := 0; r < m.Rows; r++ {
+		if nq == 0 {
+			out[r] = 0
+			continue
+		}
+		row := m.Row(r)
+		var nr float64
+		if rowNorms != nil {
+			nr = rowNorms[r]
+		} else {
+			nr = Norm(row)
+		}
+		if nr == 0 {
+			out[r] = 0
+			continue
+		}
+		out[r] = Dot(row, q) / (nr * nq)
+	}
+}
+
+// Hamming returns the number of positions where sign(a) != sign(b),
+// treating zero as positive. It panics if the lengths differ.
+func Hamming(a, b []float32) int {
+	if len(a) != len(b) {
+		panic("hdc: Hamming length mismatch")
+	}
+	d := 0
+	for i := range a {
+		if (a[i] < 0) != (b[i] < 0) {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import "sort"
+
+// ROCPoint is one operating point of a binary detector.
+type ROCPoint struct {
+	Threshold float64
+	TPR, FPR  float64
+}
+
+// ROC computes the receiver operating characteristic of a binary detector
+// from per-sample scores (higher = more attack-like) and binary labels
+// (true = attack). Points are ordered from the most conservative threshold
+// to the most permissive; the implicit (0,0) and (1,1) endpoints are
+// included.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic("metrics: ROC length mismatch")
+	}
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	pairs := make([]pair, len(scores))
+	var totalPos, totalNeg int
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].s > pairs[b].s })
+
+	points := []ROCPoint{{Threshold: 1e308, TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		// advance through ties together: one threshold per distinct score
+		s := pairs[i].s
+		for i < len(pairs) && pairs[i].s == s {
+			if pairs[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		p := ROCPoint{Threshold: s}
+		if totalPos > 0 {
+			p.TPR = float64(tp) / float64(totalPos)
+		}
+		if totalNeg > 0 {
+			p.FPR = float64(fp) / float64(totalNeg)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+// 0.5 is chance, 1.0 a perfect detector.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AUCFromScores is the one-call form of ROC + AUC.
+func AUCFromScores(scores []float64, labels []bool) float64 {
+	return AUC(ROC(scores, labels))
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"cyberhd/internal/rng"
+)
+
+func TestROCPerfectDetector(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, labels); math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+}
+
+func TestROCInvertedDetector(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, labels); math.Abs(auc) > 1e-12 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCChance(t *testing.T) {
+	r := rng.New(1)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bernoulli(0.3)
+	}
+	if auc := AUCFromScores(scores, labels); math.Abs(auc-0.5) > 0.02 {
+		t.Fatalf("chance AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	// All scores identical: the curve must jump straight to (1,1) and
+	// AUC must be 0.5 (trapezoid over the diagonal chord).
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	points := ROC(scores, labels)
+	if len(points) != 2 {
+		t.Fatalf("tied scores should produce 2 points, got %d", len(points))
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	scores := []float64{0.9, 0.1}
+	labels := []bool{true, false}
+	points := ROC(scores, labels)
+	first, last := points[0], points[len(points)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("first point %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("last point %+v", last)
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(points); i++ {
+		if points[i].TPR < points[i-1].TPR || points[i].FPR < points[i-1].FPR {
+			t.Fatalf("ROC not monotone at %d: %+v", i, points)
+		}
+	}
+}
+
+func TestROCMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ROC([]float64{1}, []bool{true, false})
+}
+
+func TestROCDegenerateLabelSets(t *testing.T) {
+	// All-positive and all-negative label sets must not divide by zero.
+	for _, labels := range [][]bool{{true, true}, {false, false}} {
+		points := ROC([]float64{0.3, 0.7}, labels)
+		for _, p := range points {
+			if math.IsNaN(p.TPR) || math.IsNaN(p.FPR) {
+				t.Fatalf("NaN in degenerate ROC: %+v", p)
+			}
+		}
+	}
+}

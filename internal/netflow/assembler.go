@@ -1,0 +1,86 @@
+package netflow
+
+// Assembler groups a time-ordered packet stream into bidirectional flows
+// and evicts them when complete. Eviction happens on TCP termination
+// (both FINs or a RST), on idle timeout, or on Flush.
+type Assembler struct {
+	// IdleTimeout ends a flow when no packet arrives for this many
+	// seconds (CICFlowMeter default is 120 s).
+	IdleTimeout float64
+	// ActivityGap splits a flow's active periods when consecutive packets
+	// are further apart than this many seconds (CIC default 1 s). Active/
+	// idle statistics and subflow counts derive from it.
+	ActivityGap float64
+
+	flows   map[FlowKey]*Flow
+	onEvict func(*Flow)
+	evicted int
+}
+
+// NewAssembler builds an assembler delivering completed flows to onEvict.
+// Non-positive timeouts select the CIC defaults (120 s idle, 1 s activity).
+func NewAssembler(idleTimeout, activityGap float64, onEvict func(*Flow)) *Assembler {
+	if idleTimeout <= 0 {
+		idleTimeout = 120
+	}
+	if activityGap <= 0 {
+		activityGap = 1
+	}
+	return &Assembler{
+		IdleTimeout: idleTimeout,
+		ActivityGap: activityGap,
+		flows:       make(map[FlowKey]*Flow),
+		onEvict:     onEvict,
+	}
+}
+
+// Add folds one packet into its flow. Packets must arrive in time order.
+func (a *Assembler) Add(p *Packet) {
+	key, _ := KeyOf(p)
+	f, ok := a.flows[key]
+	if ok && p.Time-f.LastTime > a.IdleTimeout {
+		// The old flow expired; evict it and start fresh.
+		a.evict(key, f)
+		ok = false
+	}
+	if !ok {
+		a.flows[key] = newFlow(key, p)
+		return
+	}
+	f.update(p, a.ActivityGap)
+	if f.terminated(p) {
+		a.evict(key, f)
+	}
+}
+
+// EvictIdle evicts every flow idle at time now. Call periodically when the
+// stream has gaps (e.g. live capture).
+func (a *Assembler) EvictIdle(now float64) {
+	for key, f := range a.flows {
+		if now-f.LastTime > a.IdleTimeout {
+			a.evict(key, f)
+		}
+	}
+}
+
+// Flush evicts all in-progress flows (end of capture).
+func (a *Assembler) Flush() {
+	for key, f := range a.flows {
+		a.evict(key, f)
+	}
+}
+
+func (a *Assembler) evict(key FlowKey, f *Flow) {
+	delete(a.flows, key)
+	f.finish()
+	a.evicted++
+	if a.onEvict != nil {
+		a.onEvict(f)
+	}
+}
+
+// Active returns the number of in-progress flows.
+func (a *Assembler) Active() int { return len(a.flows) }
+
+// Evicted returns the number of flows completed so far.
+func (a *Assembler) Evicted() int { return a.evicted }

@@ -1,0 +1,110 @@
+package netflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Capture persistence: a compact binary packet-log format so generated
+// traffic can be written once and replayed across experiments (the role
+// PCAP files play for the real CIC datasets). Fixed-width little-endian
+// records, no compression, fully deterministic.
+
+const (
+	captureMagic     = uint32(0xCBD0CAF7)
+	captureVersion   = uint32(1)
+	packetRecordSize = 8 + 4 + 4 + 2 + 2 + 1 + 4 + 4 + 1 + 2 // 32 bytes
+)
+
+// WriteCapture serializes packets to w.
+func WriteCapture(w io.Writer, packets []Packet) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], captureMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], captureVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(packets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [packetRecordSize]byte
+	for i := range packets {
+		p := &packets[i]
+		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(p.Time))
+		binary.LittleEndian.PutUint32(rec[8:], p.SrcIP)
+		binary.LittleEndian.PutUint32(rec[12:], p.DstIP)
+		binary.LittleEndian.PutUint16(rec[16:], p.SrcPort)
+		binary.LittleEndian.PutUint16(rec[18:], p.DstPort)
+		rec[20] = byte(p.Proto)
+		binary.LittleEndian.PutUint32(rec[21:], uint32(p.Length))
+		binary.LittleEndian.PutUint32(rec[25:], uint32(p.HeaderLen))
+		rec[29] = p.Flags
+		binary.LittleEndian.PutUint16(rec[30:], p.WindowSize)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCapture deserializes a packet log written by WriteCapture.
+func ReadCapture(r io.Reader) ([]Packet, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netflow: capture header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != captureMagic {
+		return nil, fmt.Errorf("netflow: not a capture file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != captureVersion {
+		return nil, fmt.Errorf("netflow: unsupported capture version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:])
+	packets := make([]Packet, 0, count)
+	var rec [packetRecordSize]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("netflow: capture record %d: %w", i, err)
+		}
+		packets = append(packets, Packet{
+			Time:       math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+			SrcIP:      binary.LittleEndian.Uint32(rec[8:]),
+			DstIP:      binary.LittleEndian.Uint32(rec[12:]),
+			SrcPort:    binary.LittleEndian.Uint16(rec[16:]),
+			DstPort:    binary.LittleEndian.Uint16(rec[18:]),
+			Proto:      Proto(rec[20]),
+			Length:     int(binary.LittleEndian.Uint32(rec[21:])),
+			HeaderLen:  int(binary.LittleEndian.Uint32(rec[25:])),
+			Flags:      rec[29],
+			WindowSize: binary.LittleEndian.Uint16(rec[30:]),
+		})
+	}
+	return packets, nil
+}
+
+// SaveCapture writes packets to path.
+func SaveCapture(path string, packets []Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCapture(f, packets); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadCapture reads a packet log from path.
+func LoadCapture(path string) ([]Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCapture(f)
+}

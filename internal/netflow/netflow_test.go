@@ -1,0 +1,290 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cyberhd/internal/rng"
+)
+
+func TestStatsBasic(t *testing.T) {
+	var s Stats
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N != 8 || s.Sum != 40 {
+		t.Fatalf("N=%d Sum=%v", s.N, s.Sum)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s.Std())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min=%v Max=%v", s.Min, s.Max)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Std() != 0 || s.SafeMin() != 0 || s.SafeMax() != 0 {
+		t.Fatal("empty stats should be all zero")
+	}
+}
+
+func TestMergeStatsMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		na, nb := 1+r.Intn(50), 1+r.Intn(50)
+		var a, b, both Stats
+		for i := 0; i < na; i++ {
+			x := r.Norm() * 10
+			a.Add(x)
+			both.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := r.Norm() * 10
+			b.Add(x)
+			both.Add(x)
+		}
+		m := mergeStats(a, b)
+		return m.N == both.N &&
+			math.Abs(m.Mean()-both.Mean()) < 1e-9 &&
+			math.Abs(m.Variance()-both.Variance()) < 1e-9 &&
+			m.Min == both.Min && m.Max == both.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyOfBidirectional(t *testing.T) {
+	fwd := &Packet{SrcIP: IPv4(10, 0, 0, 1), DstIP: IPv4(10, 0, 0, 2), SrcPort: 40000, DstPort: 80, Proto: TCP}
+	bwd := &Packet{SrcIP: IPv4(10, 0, 0, 2), DstIP: IPv4(10, 0, 0, 1), SrcPort: 80, DstPort: 40000, Proto: TCP}
+	kf, aToBf := KeyOf(fwd)
+	kb, aToBb := KeyOf(bwd)
+	if kf != kb {
+		t.Fatal("directions map to different keys")
+	}
+	if aToBf == aToBb {
+		t.Fatal("orientation flag identical for opposite directions")
+	}
+}
+
+func TestIPv4(t *testing.T) {
+	if IPv4(192, 168, 1, 10) != 0xc0a8010a {
+		t.Fatalf("IPv4 = %x", IPv4(192, 168, 1, 10))
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if TCP.String() != "tcp" || UDP.String() != "udp" || ICMP.String() != "icmp" {
+		t.Fatal("proto names wrong")
+	}
+	if Proto(42).String() != "proto(42)" {
+		t.Fatalf("unknown proto: %s", Proto(42))
+	}
+}
+
+// tcpExchange emits a simple request/response conversation.
+func tcpExchange(start float64) []*Packet {
+	c, s := IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 99)
+	mk := func(dt float64, fromClient bool, length int, flags uint8) *Packet {
+		p := &Packet{Time: start + dt, Proto: TCP, Length: length, HeaderLen: 40, Flags: flags, WindowSize: 64240}
+		if fromClient {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = c, s, 43210, 443
+		} else {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = s, c, 443, 43210
+		}
+		return p
+	}
+	return []*Packet{
+		mk(0.000, true, 60, SYN),
+		mk(0.010, false, 60, SYN|ACK),
+		mk(0.020, true, 52, ACK),
+		mk(0.030, true, 500, PSH|ACK),
+		mk(0.050, false, 1500, ACK),
+		mk(0.060, false, 1200, PSH|ACK),
+		mk(0.070, true, 52, ACK),
+		mk(0.080, true, 52, FIN|ACK),
+		mk(0.090, false, 52, FIN|ACK),
+		mk(0.100, true, 52, ACK),
+	}
+}
+
+func TestAssemblerCompletesOnFin(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	for _, p := range tcpExchange(0) {
+		a.Add(p)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("%d flows evicted, want 1 (FIN termination)", len(flows))
+	}
+	f := flows[0]
+	if f.FwdLen.N != 6 || f.BwdLen.N != 4 {
+		t.Fatalf("fwd=%d bwd=%d packets", f.FwdLen.N, f.BwdLen.N)
+	}
+	if math.Abs(f.Duration()-0.1) > 1e-9 {
+		t.Fatalf("duration = %v", f.Duration())
+	}
+	if a.Active() != 0 {
+		t.Fatalf("assembler still holds %d flows", a.Active())
+	}
+}
+
+func TestAssemblerRSTTerminates(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	pkts := tcpExchange(0)[:4]
+	a.Add(pkts[0])
+	a.Add(pkts[1])
+	rst := *pkts[2]
+	rst.Flags = RST
+	a.Add(&rst)
+	if len(flows) != 1 {
+		t.Fatalf("RST did not evict (got %d flows)", len(flows))
+	}
+}
+
+func TestAssemblerIdleTimeout(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(10, 1, func(f *Flow) { flows = append(flows, f) })
+	p1 := &Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
+	p2 := &Packet{Time: 100, SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
+	a.Add(p1)
+	a.Add(p2) // 100 s later: p1's flow evicts, p2 starts a new one
+	if len(flows) != 1 {
+		t.Fatalf("idle timeout did not evict (%d)", len(flows))
+	}
+	if a.Active() != 1 {
+		t.Fatalf("new flow not started")
+	}
+	a.Flush()
+	if len(flows) != 2 {
+		t.Fatalf("flush missed flows: %d", len(flows))
+	}
+}
+
+func TestEvictIdle(t *testing.T) {
+	evicted := 0
+	a := NewAssembler(10, 1, func(*Flow) { evicted++ })
+	a.Add(&Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 2, Proto: UDP, Length: 50, HeaderLen: 28})
+	a.Add(&Packet{Time: 5, SrcIP: 3, DstIP: 4, SrcPort: 3, DstPort: 4, Proto: UDP, Length: 50, HeaderLen: 28})
+	a.EvictIdle(12) // first flow idle 12 s > 10, second only 7 s
+	if evicted != 1 || a.Active() != 1 {
+		t.Fatalf("evicted=%d active=%d", evicted, a.Active())
+	}
+	if a.Evicted() != 1 {
+		t.Fatalf("Evicted() = %d", a.Evicted())
+	}
+}
+
+func TestFeatureVectorShapeAndNames(t *testing.T) {
+	if len(FeatureNames()) != NumFeatures {
+		t.Fatalf("%d names", len(FeatureNames()))
+	}
+	seen := map[string]bool{}
+	for _, n := range FeatureNames() {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	for _, p := range tcpExchange(0) {
+		a.Add(p)
+	}
+	v := flows[0].Features()
+	if len(v) != NumFeatures {
+		t.Fatalf("feature vector length %d", len(v))
+	}
+	for i, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("feature %d (%s) not finite: %v", i, featureNames[i], x)
+		}
+	}
+}
+
+func TestFeatureSemantics(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	for _, p := range tcpExchange(0) {
+		a.Add(p)
+	}
+	v := flows[0].Features()
+	name := FeatureNames()
+	get := func(n string) float64 {
+		for i, fn := range name {
+			if fn == n {
+				return float64(v[i])
+			}
+		}
+		t.Fatalf("no feature %q", n)
+		return 0
+	}
+	if get("total_fwd_packets") != 6 || get("total_bwd_packets") != 4 {
+		t.Errorf("packet counts: fwd=%v bwd=%v", get("total_fwd_packets"), get("total_bwd_packets"))
+	}
+	if get("destination_port") != 443 {
+		t.Errorf("destination_port = %v", get("destination_port"))
+	}
+	if get("protocol") != 6 {
+		t.Errorf("protocol = %v", get("protocol"))
+	}
+	if get("syn_flag_count") != 2 { // SYN and SYN|ACK
+		t.Errorf("syn_flag_count = %v", get("syn_flag_count"))
+	}
+	if get("fin_flag_count") != 2 {
+		t.Errorf("fin_flag_count = %v", get("fin_flag_count"))
+	}
+	wantFwdBytes := 60.0 + 52 + 500 + 52 + 52 + 52
+	if get("total_len_fwd_packets") != wantFwdBytes {
+		t.Errorf("fwd bytes = %v, want %v", get("total_len_fwd_packets"), wantFwdBytes)
+	}
+	if get("init_fwd_win_bytes") != 64240 {
+		t.Errorf("init fwd win = %v", get("init_fwd_win_bytes"))
+	}
+	if get("flow_duration") <= 0 {
+		t.Errorf("duration = %v", get("flow_duration"))
+	}
+	if math.Abs(get("down_up_ratio")-4.0/6.0) > 1e-6 {
+		t.Errorf("down/up = %v", get("down_up_ratio"))
+	}
+}
+
+func TestSinglePacketFlowFeaturesFinite(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	a.Add(&Packet{Time: 1, SrcIP: 9, DstIP: 8, SrcPort: 5, DstPort: 53, Proto: UDP, Length: 64, HeaderLen: 28})
+	a.Flush()
+	v := flows[0].Features()
+	for i, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("feature %d (%s) not finite on 1-packet flow: %v", i, featureNames[i], x)
+		}
+	}
+}
+
+func TestActivityPeriods(t *testing.T) {
+	var flows []*Flow
+	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
+	mk := func(ts float64) *Packet {
+		return &Packet{Time: ts, SrcIP: 1, DstIP: 2, SrcPort: 7, DstPort: 9, Proto: UDP, Length: 100, HeaderLen: 28}
+	}
+	// Two bursts separated by a 5 s gap (> 1 s activity gap).
+	for _, ts := range []float64{0, 0.1, 0.2, 5.2, 5.3} {
+		a.Add(mk(ts))
+	}
+	a.Flush()
+	f := flows[0]
+	if f.Active.N != 2 {
+		t.Fatalf("active periods = %d, want 2", f.Active.N)
+	}
+	if f.Idle.N != 1 || math.Abs(f.Idle.Sum-5) > 1e-9 {
+		t.Fatalf("idle: N=%d sum=%v", f.Idle.N, f.Idle.Sum)
+	}
+}

@@ -1,0 +1,209 @@
+// Package pipeline is the online NIDS engine of Fig 1(a): packets stream
+// in, flows assemble and complete, completed flows are featurized,
+// normalized, encoded into hyperspace and classified, and non-benign
+// verdicts raise alerts.
+//
+// The engine core is synchronous and deterministic (testable, and fast
+// enough that HDC inference is never the bottleneck); Concurrent wraps it
+// with a goroutine stage for deployments that want packet ingestion
+// decoupled from classification.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"cyberhd/internal/datasets"
+	"cyberhd/internal/netflow"
+)
+
+// Classifier is the model interface the engine drives. core.Model and
+// quantize.Model both satisfy it.
+type Classifier interface {
+	Predict(x []float32) int
+}
+
+// Alert is one non-benign verdict.
+type Alert struct {
+	// Flow is the completed flow that triggered the alert.
+	Flow *netflow.Flow
+	// Class is the predicted class index; ClassName the human name.
+	Class     int
+	ClassName string
+	// Time is the flow's last-packet time (capture clock).
+	Time float64
+}
+
+// Stats accumulates engine counters.
+type Stats struct {
+	Packets    int
+	Flows      int
+	Alerts     int
+	ByClass    []int
+	FeedbackOK int // feedback samples that required no model change
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Model classifies normalized feature vectors. Required.
+	Model Classifier
+	// Normalizer maps raw flow features to the model's input space
+	// (fitted on the training split). Required.
+	Normalizer *datasets.Normalizer
+	// ClassNames label model outputs. Required.
+	ClassNames []string
+	// BenignClass is the class index that does not alert (default 0).
+	BenignClass int
+	// IdleTimeout and ActivityGap configure flow assembly (defaults: 120 s
+	// and 1 s, the CIC conventions).
+	IdleTimeout, ActivityGap float64
+	// OnAlert, when set, receives every alert synchronously.
+	OnAlert func(Alert)
+}
+
+// Engine is the synchronous detection pipeline.
+type Engine struct {
+	cfg   Config
+	asm   *netflow.Assembler
+	stats Stats
+	buf   []float32
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("pipeline: nil model")
+	}
+	if cfg.Normalizer == nil {
+		return nil, fmt.Errorf("pipeline: nil normalizer")
+	}
+	if len(cfg.ClassNames) == 0 {
+		return nil, fmt.Errorf("pipeline: no class names")
+	}
+	if cfg.BenignClass < 0 || cfg.BenignClass >= len(cfg.ClassNames) {
+		return nil, fmt.Errorf("pipeline: benign class %d out of range", cfg.BenignClass)
+	}
+	if got := len(cfg.Normalizer.Mean); got != netflow.NumFeatures {
+		return nil, fmt.Errorf("pipeline: normalizer expects %d features but flows have %d — the model must be trained on CIC-style flow features (e.g. datasets.CICIDS2017)", got, netflow.NumFeatures)
+	}
+	e := &Engine{cfg: cfg}
+	e.stats.ByClass = make([]int, len(cfg.ClassNames))
+	e.asm = netflow.NewAssembler(cfg.IdleTimeout, cfg.ActivityGap, e.onFlow)
+	return e, nil
+}
+
+// Feed processes one packet. Packets must arrive in time order.
+func (e *Engine) Feed(p *netflow.Packet) {
+	e.stats.Packets++
+	e.asm.Add(p)
+}
+
+// Tick evicts flows idle at capture time now (call periodically on live
+// streams with silence gaps).
+func (e *Engine) Tick(now float64) { e.asm.EvictIdle(now) }
+
+// Flush completes all in-progress flows (end of capture).
+func (e *Engine) Flush() { e.asm.Flush() }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.ByClass = append([]int(nil), e.stats.ByClass...)
+	return s
+}
+
+// onFlow featurizes, normalizes and classifies one completed flow.
+func (e *Engine) onFlow(f *netflow.Flow) {
+	e.stats.Flows++
+	feat := f.Features()
+	if e.buf == nil {
+		e.buf = make([]float32, len(feat))
+	}
+	copy(e.buf, feat)
+	e.cfg.Normalizer.ApplyVec(e.buf)
+	class := e.cfg.Model.Predict(e.buf)
+	if class < 0 || class >= len(e.stats.ByClass) {
+		class = e.cfg.BenignClass // defensive: never drop a flow on a bad verdict
+	}
+	e.stats.ByClass[class]++
+	if class != e.cfg.BenignClass {
+		e.stats.Alerts++
+		if e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(Alert{Flow: f, Class: class, ClassName: e.cfg.ClassNames[class], Time: f.LastTime})
+		}
+	}
+}
+
+// Updater is the optional feedback interface (core.Model implements it):
+// analysts confirm or correct verdicts and the model adapts online.
+type Updater interface {
+	Update(x []float32, label int) bool
+}
+
+// Feedback applies one labeled flow to the model when it supports online
+// updates. It returns true if the model changed (i.e. the flow had been
+// mispredicted).
+func (e *Engine) Feedback(f *netflow.Flow, label int) bool {
+	u, ok := e.cfg.Model.(Updater)
+	if !ok {
+		return false
+	}
+	feat := f.Features()
+	x := make([]float32, len(feat))
+	copy(x, feat)
+	e.cfg.Normalizer.ApplyVec(x)
+	changed := u.Update(x, label)
+	if !changed {
+		e.stats.FeedbackOK++
+	}
+	return changed
+}
+
+// Concurrent decouples packet ingestion from classification with a
+// bounded channel; Close drains and flushes.
+type Concurrent struct {
+	eng  *Engine
+	in   chan netflow.Packet
+	done chan struct{}
+	once sync.Once
+}
+
+// NewConcurrent starts the background classification stage with the given
+// ingress buffer size (<= 0 selects 1024).
+func NewConcurrent(cfg Config, buffer int) (*Concurrent, error) {
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	c := &Concurrent{
+		eng:  eng,
+		in:   make(chan netflow.Packet, buffer),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(c.done)
+		for p := range c.in {
+			eng.Feed(&p)
+		}
+		eng.Flush()
+	}()
+	return c, nil
+}
+
+// Feed enqueues one packet (blocks when the buffer is full — lossless by
+// design; an IDS that silently drops packets hides exactly the traffic an
+// attacker would send).
+func (c *Concurrent) Feed(p netflow.Packet) { c.in <- p }
+
+// Close stops ingestion, flushes all flows, and waits for the worker.
+func (c *Concurrent) Close() {
+	c.once.Do(func() { close(c.in) })
+	<-c.done
+}
+
+// Stats returns the engine counters. Only call after Close: the worker
+// goroutine owns the engine until then.
+func (c *Concurrent) Stats() Stats { return c.eng.Stats() }

@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cyberhd/internal/core"
+	"cyberhd/internal/datasets"
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/traffic"
+)
+
+// buildModel trains a detector on one capture and returns everything the
+// engine needs plus a second capture for streaming.
+func buildModel(t testing.TB) (Config, *traffic.Stream) {
+	t.Helper()
+	train := datasets.CICIDS2017(1500, 21)
+	trainSet, _, norm := train.NormalizedSplit(0.9, 3)
+	m, err := core.Train(
+		encoder.NewRBF(trainSet.NumFeatures(), 512, 0, 5),
+		trainSet.X, trainSet.Y,
+		core.Options{Classes: trainSet.NumClasses(), Epochs: 8, RegenCycles: 3, RegenRate: 0.2, LearningRate: 0.1, Seed: 7},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := traffic.Generate(traffic.Config{Sessions: 400, Seed: 99})
+	return Config{
+		Model:      m,
+		Normalizer: norm,
+		ClassNames: train.ClassNames,
+	}, live
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg, _ := buildModel(t)
+	bad := cfg
+	bad.Model = nil
+	if _, err := New(bad); err == nil {
+		t.Error("accepted nil model")
+	}
+	bad = cfg
+	bad.Normalizer = nil
+	if _, err := New(bad); err == nil {
+		t.Error("accepted nil normalizer")
+	}
+	bad = cfg
+	bad.ClassNames = nil
+	if _, err := New(bad); err == nil {
+		t.Error("accepted empty class names")
+	}
+	bad = cfg
+	bad.BenignClass = 99
+	if _, err := New(bad); err == nil {
+		t.Error("accepted out-of-range benign class")
+	}
+}
+
+func TestEngineDetectsAttacks(t *testing.T) {
+	cfg, live := buildModel(t)
+	var alerts []Alert
+	cfg.OnAlert = func(a Alert) { alerts = append(alerts, a) }
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		eng.Feed(&live.Packets[i])
+	}
+	eng.Flush()
+	st := eng.Stats()
+	if st.Packets != len(live.Packets) {
+		t.Fatalf("packets %d != %d", st.Packets, len(live.Packets))
+	}
+	if st.Flows == 0 {
+		t.Fatal("no flows completed")
+	}
+	if st.Alerts != len(alerts) {
+		t.Fatalf("alert counter %d != callback count %d", st.Alerts, len(alerts))
+	}
+	// The capture contains ~30% attack sessions; a trained detector must
+	// raise a meaningful number of alerts and each must carry a valid
+	// class.
+	if st.Alerts == 0 {
+		t.Fatal("no alerts on attack-laden capture")
+	}
+	for _, a := range alerts {
+		if a.Class <= 0 || a.Class >= len(cfg.ClassNames) {
+			t.Fatalf("bad alert class %d", a.Class)
+		}
+		if a.ClassName != cfg.ClassNames[a.Class] {
+			t.Fatalf("class name mismatch: %q", a.ClassName)
+		}
+		if a.Flow == nil {
+			t.Fatal("alert without flow")
+		}
+	}
+	// Precision proxy against ground truth: most alerted flows should be
+	// real attacks.
+	truePos := 0
+	for _, a := range alerts {
+		if l, ok := live.Labels[a.Flow.Key]; ok && l != traffic.Benign {
+			truePos++
+		}
+	}
+	if frac := float64(truePos) / float64(len(alerts)); frac < 0.7 {
+		t.Errorf("alert precision proxy = %.2f, want >= 0.7", frac)
+	}
+}
+
+func TestEngineStatsByClassSums(t *testing.T) {
+	cfg, live := buildModel(t)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		eng.Feed(&live.Packets[i])
+	}
+	eng.Flush()
+	st := eng.Stats()
+	sum := 0
+	for _, n := range st.ByClass {
+		sum += n
+	}
+	if sum != st.Flows {
+		t.Fatalf("ByClass sums to %d, flows %d", sum, st.Flows)
+	}
+	if st.ByClass[0]+st.Alerts != st.Flows {
+		t.Fatalf("benign %d + alerts %d != flows %d", st.ByClass[0], st.Alerts, st.Flows)
+	}
+}
+
+func TestTickEvictsIdleFlows(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cfg.IdleTimeout = 10
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	if eng.Stats().Flows != 0 {
+		t.Fatal("flow completed prematurely")
+	}
+	eng.Tick(100)
+	if eng.Stats().Flows != 1 {
+		t.Fatal("Tick did not evict idle flow")
+	}
+}
+
+func TestFeedbackAdaptsModel(t *testing.T) {
+	cfg, live := buildModel(t)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect a completed attack flow with its truth label.
+	var flows []*netflow.Flow
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) { flows = append(flows, f) })
+	for i := range live.Packets {
+		a.Add(&live.Packets[i])
+	}
+	a.Flush()
+	changedAny := false
+	for _, f := range flows {
+		label, ok := live.Labels[f.Key]
+		if !ok {
+			continue
+		}
+		if eng.Feedback(f, int(label)) {
+			changedAny = true
+		}
+	}
+	st := eng.Stats()
+	if !changedAny && st.FeedbackOK == 0 {
+		t.Fatal("feedback had no observable effect at all")
+	}
+}
+
+func TestFeedbackNonUpdaterModel(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cfg.Model = staticModel{}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &netflow.Flow{}
+	if eng.Feedback(f, 0) {
+		t.Fatal("static model reported an update")
+	}
+}
+
+// staticModel is a Classifier without Update support.
+type staticModel struct{}
+
+func (staticModel) Predict([]float32) int { return 0 }
+
+func TestConcurrentMatchesSynchronous(t *testing.T) {
+	cfg, live := buildModel(t)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		eng.Feed(&live.Packets[i])
+	}
+	eng.Flush()
+	syncStats := eng.Stats()
+
+	conc, err := NewConcurrent(cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range live.Packets {
+		conc.Feed(p)
+	}
+	conc.Close()
+	concStats := conc.Stats()
+
+	if syncStats.Flows != concStats.Flows || syncStats.Alerts != concStats.Alerts {
+		t.Fatalf("sync %+v != concurrent %+v", syncStats, concStats)
+	}
+}
+
+func TestConcurrentCloseIdempotent(t *testing.T) {
+	cfg, _ := buildModel(t)
+	conc, err := NewConcurrent(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc.Close()
+	conc.Close() // must not panic
+}

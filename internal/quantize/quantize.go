@@ -1,0 +1,146 @@
+// Package quantize lowers trained HDC models to reduced-precision class
+// memories for the paper's cross-platform evaluation (Table I) and
+// robustness study (Fig 5).
+//
+// Quantization is post-training: the float32 class hypervectors are packed
+// to b-bit integers (see internal/bitpack); queries are encoded in float
+// and packed with the same scheme before similarity search, so inference
+// runs entirely in the integer domain.
+package quantize
+
+import (
+	"fmt"
+
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/core"
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+// Model is a quantized HDC classifier.
+type Model struct {
+	// Width is the element bitwidth of the class memory and queries.
+	Width bitpack.Width
+	// Class is the packed class hypervector memory.
+	Class *bitpack.Matrix
+	// Enc is the (float) encoder shared with the source model.
+	Enc encoder.Encoder
+}
+
+// FromCore packs the class memory of m at width w.
+func FromCore(m *core.Model, w bitpack.Width) (*Model, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("quantize: invalid width %d", w)
+	}
+	return &Model{
+		Width: w,
+		Class: bitpack.QuantizeMatrix(m.Class.Data, m.Class.Rows, m.Class.Cols, w),
+		Enc:   m.Enc,
+	}, nil
+}
+
+// Dim returns the physical hyperspace dimensionality.
+func (m *Model) Dim() int {
+	if len(m.Class.Rows) == 0 {
+		return 0
+	}
+	return m.Class.Rows[0].Dim
+}
+
+// NumClasses returns the number of classes.
+func (m *Model) NumClasses() int { return len(m.Class.Rows) }
+
+// Predict encodes x, packs it at the model width, and returns the class
+// with the highest integer-domain cosine similarity.
+func (m *Model) Predict(x []float32) int {
+	h := make([]float32, m.Enc.Dim())
+	m.Enc.Encode(x, h)
+	return m.PredictEncoded(h)
+}
+
+// PredictEncoded classifies an already-encoded float hypervector.
+func (m *Model) PredictEncoded(h []float32) int {
+	return m.Class.Classify(bitpack.Quantize(h, m.Width))
+}
+
+// Evaluate returns accuracy over the feature matrix x with labels y,
+// parallelized across samples.
+func (m *Model) Evaluate(x *hdc.Matrix, y []int) float64 {
+	if x.Rows != len(y) {
+		panic("quantize: Evaluate label mismatch")
+	}
+	correct := make([]int, x.Rows)
+	hdc.ParallelChunks(x.Rows, func(lo, hi int) {
+		h := make([]float32, m.Enc.Dim())
+		for i := lo; i < hi; i++ {
+			m.Enc.Encode(x.Row(i), h)
+			if m.PredictEncoded(h) == y[i] {
+				correct[i] = 1
+			}
+		}
+	})
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(len(y))
+}
+
+// Clone deep-copies the model (encoder is shared; class memory is copied).
+// Use before destructive experiments such as fault injection.
+func (m *Model) Clone() *Model {
+	return &Model{Width: m.Width, Class: m.Class.Clone(), Enc: m.Enc}
+}
+
+// MemoryBits returns the class-memory footprint in bits, the quantity that
+// shrinks with bitwidth in Table I.
+func (m *Model) MemoryBits() int { return m.Class.StorageBits() }
+
+// Retrain performs quantization-aware retraining: for `epochs` adaptive
+// passes, predictions come from the packed model (exactly what deployment
+// will compute) while corrections update a float32 shadow of the class
+// memory, which is re-packed after every pass.
+//
+// This matters most at 1-bit: CyberHD's regeneration leaves freshly
+// regenerated dimensions with small magnitudes, and plain sign()
+// quantization weights their noise equally with mature dimensions.
+// Retraining against the binarized decision boundary recovers the loss.
+func Retrain(src *core.Model, w bitpack.Width, x *hdc.Matrix, y []int, epochs int, eta float64, seed uint64) (*Model, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("quantize: invalid width %d", w)
+	}
+	if x.Rows != len(y) || x.Rows == 0 {
+		return nil, fmt.Errorf("quantize: %d samples, %d labels", x.Rows, len(y))
+	}
+	if eta <= 0 {
+		eta = 0.05
+	}
+	if epochs <= 0 {
+		epochs = 3
+	}
+	shadow := src.Class.Clone()
+	enc2 := encoder.EncodeBatch(src.Enc, x)
+	packed := bitpack.QuantizeMatrix(shadow.Data, shadow.Rows, shadow.Cols, w)
+	r := rng.New(seed)
+	order := make([]int, x.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	sims := make([]float64, shadow.Rows)
+	for e := 0; e < epochs; e++ {
+		r.ShuffleInts(order)
+		for _, i := range order {
+			h := enc2.Row(i)
+			pred := packed.Classify(bitpack.Quantize(h, w))
+			if pred == y[i] {
+				continue
+			}
+			hdc.Similarities(shadow, h, nil, sims)
+			hdc.Axpy(float32(eta*(1-sims[y[i]])), h, shadow.Row(y[i]))
+			hdc.Axpy(float32(-eta*(1-sims[pred])), h, shadow.Row(pred))
+		}
+		packed = bitpack.QuantizeMatrix(shadow.Data, shadow.Rows, shadow.Cols, w)
+	}
+	return &Model{Width: w, Class: packed, Enc: src.Enc}, nil
+}
