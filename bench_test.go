@@ -9,14 +9,17 @@
 //	BenchmarkTable1* — quantized inference per bitwidth + modeled CPU/FPGA
 //	                   energy efficiencies
 //	BenchmarkFig5*   — fault-injection robustness (loss_pp metric)
-//	BenchmarkAblation* — design-choice ablations (DESIGN.md §5)
+//	BenchmarkAblation* — design-choice ablations
 //
 // Scale is reduced relative to cmd/experiments (benchmarks run the whole
 // grid repeatedly); the experiment harness behind both is identical.
 package cyberhd
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"sync"
 	"testing"
 
@@ -25,11 +28,16 @@ import (
 	"cyberhd/internal/bitpack"
 	"cyberhd/internal/core"
 	"cyberhd/internal/datasets"
+	"cyberhd/internal/encoder"
 	"cyberhd/internal/experiments"
 	"cyberhd/internal/faults"
+	"cyberhd/internal/hdc"
 	"cyberhd/internal/hwmodel"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/pipeline"
 	"cyberhd/internal/quantize"
 	"cyberhd/internal/rng"
+	"cyberhd/internal/traffic"
 )
 
 // benchSamples keeps per-iteration cost manageable across the full grid.
@@ -292,7 +300,7 @@ func BenchmarkFig5(b *testing.B) {
 // ------------------------------------------------------------ Ablations
 
 // BenchmarkAblationDropStrategy compares variance-guided against random
-// dimension selection per iteration (DESIGN.md §5 ablation index).
+// dimension selection per iteration (ablation index).
 func BenchmarkAblationDropStrategy(b *testing.B) {
 	train, test := benchSplit(b, "nsl-kdd")
 	strategies := map[string]func(m *core.Model, drop int) []int{
@@ -346,4 +354,230 @@ func BenchmarkAblationRegenRate(b *testing.B) {
 			b.ReportMetric(float64(effDim), "eff_dim")
 		})
 	}
+}
+
+// ------------------------------------------------ Kernel layer (PR 1)
+//
+// The benchmarks below compare the blocked kernel layer against the
+// seed's row-at-a-time kernels, kept here as explicit naive references:
+// RBF encoding was one float64 hdc.Dot plus math.Cos per output dimension
+// and prediction recomputed every class norm per call (hdc.ArgmaxCosine).
+// TestWriteBenchJSON snapshots the measured speedups into BENCH_1.json.
+
+// naiveRBFEncode is the seed's RBF.Encode.
+func naiveRBFEncode(base *hdc.Matrix, bias []float32, x, dst []float32) {
+	for d := 0; d < base.Rows; d++ {
+		dst[d] = float32(math.Cos(hdc.Dot(base.Row(d), x) + float64(bias[d])))
+	}
+}
+
+// benchEncShape builds matching shapes for the naive and blocked paths:
+// a 512-dim RBF over the 78 CIC flow features.
+func benchEncShape(samples int) (base *hdc.Matrix, bias []float32, x *hdc.Matrix, enc encoder.BatchEncoder) {
+	const inDim, dim = netflow.NumFeatures, 512
+	r := rng.New(11)
+	base = hdc.NewMatrix(dim, inDim)
+	r.FillNorm(base.Data, 0, 1/math.Sqrt(inDim))
+	bias = make([]float32, dim)
+	r.FillUniform(bias, 0, 2*math.Pi)
+	x = hdc.NewMatrix(samples, inDim)
+	r.FillNorm(x.Data, 0, 1)
+	enc = encoder.NewRBF(inDim, dim, 0, 12)
+	return
+}
+
+func benchEncodeBatchNaive(b *testing.B) {
+	base, bias, x, _ := benchEncShape(256)
+	out := hdc.NewMatrix(x.Rows, base.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < x.Rows; s++ {
+			naiveRBFEncode(base, bias, x.Row(s), out.Row(s))
+		}
+	}
+}
+
+func benchEncodeBatchBlocked(b *testing.B) {
+	_, _, x, enc := benchEncShape(256)
+	out := hdc.NewMatrix(x.Rows, enc.Dim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encoder.EncodeBatchInto(enc, x, out)
+	}
+}
+
+// BenchmarkEncodeBatch measures batch RBF encoding (256 flows × 78
+// features → 512 dims): the seed's per-row matvec loop against the
+// blocked panel GEMM with fused cosine.
+func BenchmarkEncodeBatch(b *testing.B) {
+	b.Run("naive", benchEncodeBatchNaive)
+	b.Run("blocked", benchEncodeBatchBlocked)
+}
+
+// benchPredictModel trains one 512-dim model for the prediction paths.
+func benchPredictModel(b *testing.B) (*core.Model, []float32) {
+	b.Helper()
+	train, test := benchSplit(b, "nsl-kdd")
+	m, err := experiments.TrainBaselineHD(train, experiments.PhysDim, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, test.X.Row(0)
+}
+
+func benchPredictNaive(b *testing.B) {
+	base, bias, x, _ := benchEncShape(1)
+	r := rng.New(13)
+	class := hdc.NewMatrix(5, base.Rows)
+	r.FillNorm(class.Data, 0, 1)
+	q := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := make([]float32, base.Rows)
+		naiveRBFEncode(base, bias, q, h)
+		pred, _ := hdc.ArgmaxCosine(class, h)
+		benchSink = pred
+	}
+}
+
+func benchPredictPooled(b *testing.B) {
+	base, _, x, enc := benchEncShape(1)
+	r := rng.New(13)
+	classData := hdc.NewMatrix(5, base.Rows)
+	r.FillNorm(classData.Data, 0, 1)
+	m := &core.Model{Enc: enc, Class: classData}
+	q := x.Row(0)
+	m.Predict(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = m.Predict(q)
+	}
+}
+
+var benchSink int
+
+// BenchmarkPredict measures repeated single-sample prediction on
+// identical shapes (78 features, 512 dims, 5 classes): the seed path
+// (fresh encode buffer, float64 row-at-a-time encode, per-call class
+// norms) against the pooled kernel path.
+func BenchmarkPredict(b *testing.B) {
+	b.Run("naive", benchPredictNaive)
+	b.Run("pooled", benchPredictPooled)
+}
+
+func benchPredictEncodedNaive(b *testing.B) {
+	m, q := benchPredictModel(b)
+	h := make([]float32, m.Dim())
+	m.Enc.Encode(q, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred, _ := hdc.ArgmaxCosine(m.Class, h)
+		benchSink = pred
+	}
+}
+
+func benchPredictEncodedCached(b *testing.B) {
+	m, q := benchPredictModel(b)
+	h := make([]float32, m.Dim())
+	m.Enc.Encode(q, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = m.PredictEncoded(h)
+	}
+}
+
+// BenchmarkPredictEncoded isolates scoring: per-call norm recomputation
+// (hdc.ArgmaxCosine) against the Scorer's cached norms + kernel dots.
+func BenchmarkPredictEncoded(b *testing.B) {
+	b.Run("naive", benchPredictEncodedNaive)
+	b.Run("cached", benchPredictEncodedCached)
+}
+
+// benchEngine streams a fixed capture through an engine per iteration and
+// reports flows/sec.
+func benchEngine(b *testing.B, batch int) {
+	train := datasets.CICIDS2017(1500, 21)
+	trainSet, _, norm := train.NormalizedSplit(0.9, 3)
+	m, err := core.Train(
+		NewRBFEncoder(trainSet.NumFeatures(), 512, 0, 5),
+		trainSet.X, trainSet.Y,
+		core.Options{Classes: trainSet.NumClasses(), Epochs: 4, Seed: 7},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := traffic.Generate(traffic.Config{Sessions: 400, Seed: 99})
+	cfg := pipeline.Config{Model: m, Normalizer: norm, ClassNames: train.ClassNames, BatchSize: batch}
+	flows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := pipeline.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := range live.Packets {
+			eng.Feed(&live.Packets[p])
+		}
+		eng.Flush()
+		flows = eng.Stats().Flows
+	}
+	b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkEngineClassify measures end-to-end streaming throughput
+// (packets → flows → featurize → classify) with per-flow prediction vs
+// 64-flow micro-batches.
+func BenchmarkEngineClassify(b *testing.B) {
+	b.Run("sync", func(b *testing.B) { benchEngine(b, 0) })
+	b.Run("batch64", func(b *testing.B) { benchEngine(b, 64) })
+}
+
+// TestWriteBenchJSON runs the kernel benchmarks and snapshots the results
+// to BENCH_1.json. Gated behind an env var so plain `go test ./...` stays
+// fast; run with:
+//
+//	CYBERHD_BENCH_JSON=1 go test -run TestWriteBenchJSON -v .
+func TestWriteBenchJSON(t *testing.T) {
+	if os.Getenv("CYBERHD_BENCH_JSON") == "" {
+		t.Skip("set CYBERHD_BENCH_JSON=1 to write BENCH_1.json")
+	}
+	nsOp := func(r testing.BenchmarkResult) float64 { return float64(r.T.Nanoseconds()) / float64(r.N) }
+	type cmp struct {
+		NaiveNsOp   float64 `json:"naive_ns_op"`
+		KernelNsOp  float64 `json:"kernel_ns_op"`
+		Speedup     float64 `json:"speedup"`
+		KernelAlloc int64   `json:"kernel_allocs_per_op"`
+	}
+	measure := func(naive, kernel func(b *testing.B)) cmp {
+		rn := testing.Benchmark(naive)
+		rk := testing.Benchmark(kernel)
+		return cmp{
+			NaiveNsOp:   nsOp(rn),
+			KernelNsOp:  nsOp(rk),
+			Speedup:     nsOp(rn) / nsOp(rk),
+			KernelAlloc: rk.AllocsPerOp(),
+		}
+	}
+	report := map[string]any{
+		"shapes":                      "78 features, 512 dims, 5-8 classes; batch=256 (encode), 64 (engine)",
+		"encode_batch_256x78_to_512":  measure(benchEncodeBatchNaive, benchEncodeBatchBlocked),
+		"predict_single_78_to_512_k5": measure(benchPredictNaive, benchPredictPooled),
+		"predict_encoded_scoring_k5":  measure(benchPredictEncodedNaive, benchPredictEncodedCached),
+	}
+	sync := testing.Benchmark(func(b *testing.B) { benchEngine(b, 0) })
+	batch := testing.Benchmark(func(b *testing.B) { benchEngine(b, 64) })
+	report["engine_stream_classify"] = map[string]any{
+		"sync_flows_per_sec":    sync.Extra["flows/s"],
+		"batch64_flows_per_sec": batch.Extra["flows/s"],
+		"speedup":               batch.Extra["flows/s"] / sync.Extra["flows/s"],
+	}
+	report["engine_onflow_steady_state_allocs"] = 0 // asserted by pipeline.TestOnFlowAllocFree
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_1.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_1.json:\n%s", buf)
 }

@@ -77,8 +77,8 @@ const (
 	W32 = bitpack.W32
 )
 
-// Dataset constructors (synthetic reconstructions; see DESIGN.md for the
-// substitution rationale).
+// Dataset constructors (synthetic reconstructions; see the Datasets
+// section of README.md for the substitution rationale).
 var (
 	// NSLKDD synthesizes the 41-feature, 5-class NSL-KDD reconstruction.
 	NSLKDD = datasets.NSLKDD
@@ -191,11 +191,17 @@ func (d *Detector) Classify(features []float32) string {
 	return d.ClassNames[d.Model.Predict(x)]
 }
 
+// NewEngine builds a streaming detection engine from an explicit
+// configuration — the entry point for non-default setups such as
+// micro-batch classification (EngineConfig.BatchSize).
+func NewEngine(cfg EngineConfig) (*Engine, error) { return pipeline.New(cfg) }
+
 // NewEngine builds a streaming detection engine around the detector.
 // benignClass is the class index that does not alert (0 in all four
-// datasets); onAlert may be nil.
+// datasets); onAlert may be nil. Use the package-level NewEngine for
+// non-default engine options (e.g. micro-batching).
 func (d *Detector) NewEngine(benignClass int, onAlert func(Alert)) (*Engine, error) {
-	return pipeline.New(pipeline.Config{
+	return NewEngine(EngineConfig{
 		Model:       d.Model,
 		Normalizer:  d.Normalizer,
 		ClassNames:  d.ClassNames,

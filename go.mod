@@ -1,0 +1,3 @@
+module cyberhd
+
+go 1.24

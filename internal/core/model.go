@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"cyberhd/internal/encoder"
 	"cyberhd/internal/hdc"
@@ -87,15 +88,58 @@ type CycleStats struct {
 // class.
 type Model struct {
 	Enc encoder.Encoder
-	// Class is the k×D class hypervector matrix.
+	// Class is the k×D class hypervector matrix. Prediction divides by
+	// cached row norms (see Scorer), so callers that mutate Class
+	// directly — rather than through Update/Train — must call
+	// Scorer().Refresh() afterwards or predictions will use stale norms.
 	Class *hdc.Matrix
 	// EffectiveDim is D* = D + Σ dimensions regenerated during training.
 	EffectiveDim int
 	// History holds per-cycle statistics in training order.
 	History []CycleStats
 
-	opts     Options
-	rowNorms []float64
+	opts Options
+	// scorer caches class-row norms and runs all predictions through the
+	// kernel layer (scorerOnce guards its lazy construction so first-use
+	// races between concurrent Predict calls are safe); predictScratch
+	// recycles per-call encode buffers and similarity slices so
+	// steady-state Predict/Update never allocate; encScratch recycles
+	// batch-encoding matrices.
+	scorer     *Scorer
+	scorerOnce sync.Once
+
+	predictScratch sync.Pool
+	encScratch     sync.Pool
+}
+
+// modelScratch bundles the per-call buffers of Predict and Update.
+type modelScratch struct {
+	h    []float32
+	sims []float64
+}
+
+// scratch fetches (or builds) a pooled scratch sized for this model.
+func (m *Model) scratch() *modelScratch {
+	sc, _ := m.predictScratch.Get().(*modelScratch)
+	if sc == nil || len(sc.h) != m.Enc.Dim() || len(sc.sims) != m.Class.Rows {
+		sc = &modelScratch{
+			h:    make([]float32, m.Enc.Dim()),
+			sims: make([]float64, m.Class.Rows),
+		}
+	}
+	return sc
+}
+
+// Scorer returns the model's norm-caching scorer, building it on first
+// use (models assembled field-by-field have none yet). Safe for
+// concurrent first use from Predict.
+func (m *Model) Scorer() *Scorer {
+	m.scorerOnce.Do(func() {
+		if m.scorer == nil {
+			m.scorer = NewScorer(m.Class)
+		}
+	})
+	return m.scorer
 }
 
 // Train fits a CyberHD (or, with RegenCycles == 0, BaselineHD) model.
@@ -183,7 +227,7 @@ func (m *Model) adaptiveEpochs(enc2 *hdc.Matrix, y []int, r *rng.Rand) {
 // similarity δ means the pattern is already represented and the update is
 // scaled down.
 func (m *Model) updateOne(h []float32, label int, sims []float64) bool {
-	hdc.Similarities(m.Class, h, m.rowNorms, sims)
+	hdc.Similarities(m.Class, h, m.scorer.Norms(), sims)
 	pred := argmax(sims)
 	if pred == label {
 		return false
@@ -191,8 +235,8 @@ func (m *Model) updateOne(h []float32, label int, sims []float64) bool {
 	eta := m.opts.LearningRate
 	hdc.Axpy(float32(eta*(1-sims[label])), h, m.Class.Row(label))
 	hdc.Axpy(float32(-eta*(1-sims[pred])), h, m.Class.Row(pred))
-	m.rowNorms[label] = hdc.Norm(m.Class.Row(label))
-	m.rowNorms[pred] = hdc.Norm(m.Class.Row(pred))
+	m.scorer.RefreshRow(label)
+	m.scorer.RefreshRow(pred)
 	return true
 }
 
@@ -222,7 +266,10 @@ func (m *Model) insignificantDims(drop int) []int {
 	return out
 }
 
-func (m *Model) refreshNorms() { m.rowNorms = m.Class.RowNorms() }
+func (m *Model) refreshNorms() {
+	s := m.Scorer()
+	s.Refresh()
+}
 
 func argmax(v []float64) int {
 	best, bv := 0, math.Inf(-1)
@@ -241,28 +288,49 @@ func (m *Model) Dim() int { return m.Class.Cols }
 func (m *Model) NumClasses() int { return m.Class.Rows }
 
 // Predict encodes x and returns the most similar class (paper steps I, J).
+// Scratch comes from the model's pool, so steady-state calls are
+// allocation-free.
 func (m *Model) Predict(x []float32) int {
-	h := make([]float32, m.Enc.Dim())
-	m.Enc.Encode(x, h)
-	return m.PredictEncoded(h)
-}
-
-// PredictEncoded classifies an already-encoded hypervector.
-func (m *Model) PredictEncoded(h []float32) int {
-	pred, _ := hdc.ArgmaxCosine(m.Class, h)
+	sc := m.scratch()
+	m.Enc.Encode(x, sc.h)
+	pred := m.Scorer().PredictEncoded(sc.h)
+	m.predictScratch.Put(sc)
 	return pred
 }
 
-// PredictBatch classifies every row of x in parallel.
+// PredictEncoded classifies an already-encoded hypervector using the
+// scorer's cached row norms (the naive path recomputed every class norm
+// per call; see hdc.ArgmaxCosine).
+func (m *Model) PredictEncoded(h []float32) int {
+	return m.Scorer().PredictEncoded(h)
+}
+
+// PredictBatch classifies every row of x: one blocked batch encode plus
+// one class-matrix GEMM, bit-identical to per-row Predict.
 func (m *Model) PredictBatch(x *hdc.Matrix) []int {
 	out := make([]int, x.Rows)
-	hdc.ParallelChunks(x.Rows, func(lo, hi int) {
-		h := make([]float32, m.Enc.Dim())
-		for i := lo; i < hi; i++ {
-			m.Enc.Encode(x.Row(i), h)
-			out[i] = m.PredictEncoded(h)
-		}
-	})
+	m.PredictBatchInto(x, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into caller storage (len
+// x.Rows), allocation-free in steady state for the pipeline's micro-batch
+// loop.
+func (m *Model) PredictBatchInto(x *hdc.Matrix, out []int) {
+	enc, _ := m.encScratch.Get().(*hdc.Matrix)
+	if enc == nil {
+		enc = new(hdc.Matrix)
+	}
+	enc.Resize(x.Rows, m.Enc.Dim())
+	encoder.EncodeBatchInto(m.Enc, x, enc)
+	m.Scorer().PredictBatchEncoded(enc, out)
+	m.encScratch.Put(enc)
+}
+
+// PredictBatchEncoded classifies every row of an already-encoded matrix.
+func (m *Model) PredictBatchEncoded(enc *hdc.Matrix) []int {
+	out := make([]int, enc.Rows)
+	m.Scorer().PredictBatchEncoded(enc, out)
 	return out
 }
 
@@ -281,15 +349,12 @@ func (m *Model) Evaluate(x *hdc.Matrix, y []int) float64 {
 
 // evaluateEncoded returns accuracy over a pre-encoded matrix.
 func (m *Model) evaluateEncoded(enc2 *hdc.Matrix, y []int) float64 {
+	preds := m.PredictBatchEncoded(enc2)
 	correct := 0
-	counts := make([]int, enc2.Rows)
-	hdc.ParallelFor(enc2.Rows, func(i int) {
-		if m.PredictEncoded(enc2.Row(i)) == y[i] {
-			counts[i] = 1
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
 		}
-	})
-	for _, c := range counts {
-		correct += c
 	}
 	return float64(correct) / float64(enc2.Rows)
 }
@@ -306,11 +371,10 @@ func (m *Model) Update(x []float32, label int) bool {
 	if label < 0 || label >= m.NumClasses() {
 		panic("core: Update label out of range")
 	}
-	if m.rowNorms == nil {
-		m.refreshNorms()
-	}
-	h := make([]float32, m.Enc.Dim())
-	m.Enc.Encode(x, h)
-	sims := make([]float64, m.Class.Rows)
-	return m.updateOne(h, label, sims)
+	m.Scorer() // ensure the norm cache exists before updateOne reads it
+	sc := m.scratch()
+	m.Enc.Encode(x, sc.h)
+	changed := m.updateOne(sc.h, label, sc.sims)
+	m.predictScratch.Put(sc)
+	return changed
 }

@@ -208,7 +208,7 @@ func TestUpdateOneMovesTowardLabel(t *testing.T) {
 	// Norm cache must match fresh norms after the update.
 	fresh := m.Class.RowNorms()
 	for i := range fresh {
-		if math.Abs(fresh[i]-m.rowNorms[i]) > 1e-9 {
+		if math.Abs(fresh[i]-m.Scorer().Norms()[i]) > 1e-9 {
 			t.Fatalf("stale norm cache at row %d", i)
 		}
 	}

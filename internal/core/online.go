@@ -55,7 +55,7 @@ func (t *OnlineTrainer) Observe(x []float32, label int) (bool, error) {
 	row := t.m.Class.Row(label)
 	if hdc.Norm(row) == 0 {
 		hdc.Axpy(1, t.scratch, row)
-		t.m.rowNorms[label] = hdc.Norm(row)
+		t.m.scorer.RefreshRow(label)
 		t.updates++
 		return true, nil
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled disables allocation-count assertions under the race
+// detector, whose instrumentation allocates on its own.
+const raceEnabled = true

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/rng"
+)
+
+// scorerModel trains a small model for scorer-path tests.
+func scorerModel(t testing.TB, classes, dim int) (*Model, *hdc.Matrix, []int) {
+	t.Helper()
+	x, y := blobs(600, 8, classes, 0.3, 200, 1)
+	m, err := Train(encoder.NewRBF(8, dim, 0, 3), x, y, Options{Classes: classes, Epochs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, y
+}
+
+// TestScorerMatchesArgmaxCosine checks the cached-norm kernel argmax
+// against the naive per-call-norm reference. The two paths differ in
+// float rounding (lane-wise float32 vs float64 dots), far below the
+// separation of these well-spread similarities, so the argmax agrees.
+func TestScorerMatchesArgmaxCosine(t *testing.T) {
+	m, x, _ := scorerModel(t, 5, 256)
+	h := make([]float32, m.Dim())
+	for i := 0; i < 100; i++ {
+		m.Enc.Encode(x.Row(i), h)
+		got := m.PredictEncoded(h)
+		naive, _ := hdc.ArgmaxCosine(m.Class, h)
+		normed, _ := hdc.ArgmaxCosineNormed(m.Class, h, m.Class.RowNorms())
+		if naive != normed {
+			t.Fatalf("sample %d: ArgmaxCosine %d != ArgmaxCosineNormed %d", i, naive, normed)
+		}
+		if got != naive {
+			t.Fatalf("sample %d: scorer %d != naive argmax %d", i, got, naive)
+		}
+	}
+}
+
+// TestBatchPredictionBitIdentical is the blocking-determinism test at the
+// prediction level: the batch GEMM path must agree exactly with repeated
+// single-query prediction — same kernels, different tiling.
+func TestBatchPredictionBitIdentical(t *testing.T) {
+	m, x, _ := scorerModel(t, 4, 192)
+	batch := m.PredictBatch(x)
+	h := make([]float32, m.Dim())
+	for i := 0; i < x.Rows; i++ {
+		m.Enc.Encode(x.Row(i), h)
+		if single := m.PredictEncoded(h); single != batch[i] {
+			t.Fatalf("sample %d: single %d != batch %d", i, single, batch[i])
+		}
+	}
+	// And the pre-encoded batch entry point.
+	enc := encoder.EncodeBatch(m.Enc, x)
+	encBatch := m.PredictBatchEncoded(enc)
+	for i := range batch {
+		if encBatch[i] != batch[i] {
+			t.Fatalf("sample %d: PredictBatchEncoded %d != PredictBatch %d", i, encBatch[i], batch[i])
+		}
+	}
+}
+
+// TestScorerNormInvalidation covers the three mutation paths: adaptive
+// updates (RefreshRow via updateOne), column drops (Refresh via
+// refreshNorms), and manual row edits.
+func TestScorerNormInvalidation(t *testing.T) {
+	m, x, y := scorerModel(t, 3, 64)
+	check := func(stage string) {
+		t.Helper()
+		fresh := m.Class.RowNorms()
+		norms := m.Scorer().Norms()
+		for r := range fresh {
+			if diff := fresh[r] - norms[r]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: stale norm at row %d: cached %v fresh %v", stage, r, norms[r], fresh[r])
+			}
+		}
+	}
+	check("after training")
+	for i := 0; i < 50; i++ {
+		m.Update(x.Row(i), y[i])
+	}
+	check("after updates")
+	m.Class.ZeroColumns([]int{0, 5, 9})
+	m.refreshNorms()
+	check("after ZeroColumns+refresh")
+}
+
+// TestPredictAllocFree pins the pooled-scratch contract: steady-state
+// Predict, Update, and micro-batch prediction perform zero allocations.
+func TestPredictAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m, x, y := scorerModel(t, 5, 512)
+	q := x.Row(0)
+	m.Predict(q) // warm the pools
+	if allocs := testing.AllocsPerRun(100, func() { m.Predict(q) }); allocs != 0 {
+		t.Errorf("Predict allocates %.1f objects per call", allocs)
+	}
+	m.Update(q, y[0])
+	if allocs := testing.AllocsPerRun(100, func() { m.Update(q, y[0]) }); allocs != 0 {
+		t.Errorf("Update allocates %.1f objects per call", allocs)
+	}
+	batch := &hdc.Matrix{Rows: 64, Cols: x.Cols, Data: x.Data[:64*x.Cols]}
+	out := make([]int, 64)
+	m.PredictBatchInto(batch, out)
+	if allocs := testing.AllocsPerRun(50, func() { m.PredictBatchInto(batch, out) }); allocs != 0 {
+		t.Errorf("PredictBatchInto allocates %.1f objects per call", allocs)
+	}
+}
+
+// TestScorerManyClasses exercises the pooled (non-stack) score buffer.
+func TestScorerManyClasses(t *testing.T) {
+	r := rng.New(9)
+	class := hdc.NewMatrix(stackClasses+13, 96)
+	r.FillNorm(class.Data, 0, 1)
+	s := NewScorer(class)
+	q := make([]float32, 96)
+	for trial := 0; trial < 20; trial++ {
+		r.FillNorm(q, 0, 1)
+		got := s.PredictEncoded(q)
+		want, _ := hdc.ArgmaxCosine(class, q)
+		if got != want {
+			t.Fatalf("trial %d: pooled-path scorer %d != naive %d", trial, got, want)
+		}
+	}
+}
+
+// TestScorerQueryLengthPanics preserves the seed's contract: a query of
+// the wrong dimensionality must panic, not silently score a prefix.
+func TestScorerQueryLengthPanics(t *testing.T) {
+	s := NewScorer(hdc.NewMatrix(3, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short query")
+		}
+	}()
+	s.PredictEncoded(make([]float32, 3))
+}
+
+// TestKernelAccuracyParity pins the float32 kernel path to the float64
+// reference end-to-end: on a trained model over a full test split, the
+// accuracy of kernel-scored batch prediction must match float64 cosine
+// argmax scoring to well under a point — the documented deviation from
+// float64 accumulation must never move headline metrics.
+func TestKernelAccuracyParity(t *testing.T) {
+	m, x, y := scorerModel(t, 5, 256)
+	preds := m.PredictBatch(x)
+	enc := encoder.EncodeBatch(m.Enc, x)
+	kernelAcc, refAcc, disagree := 0, 0, 0
+	for i := 0; i < x.Rows; i++ {
+		ref, _ := hdc.ArgmaxCosine(m.Class, enc.Row(i))
+		if preds[i] == y[i] {
+			kernelAcc++
+		}
+		if ref == y[i] {
+			refAcc++
+		}
+		if ref != preds[i] {
+			disagree++
+		}
+	}
+	if d := float64(disagree) / float64(x.Rows); d > 0.005 {
+		t.Errorf("kernel vs float64 argmax disagree on %.2f%% of samples", 100*d)
+	}
+	if diff := kernelAcc - refAcc; diff > 2 || diff < -2 {
+		t.Errorf("accuracy moved: kernel %d vs float64 %d of %d", kernelAcc, refAcc, x.Rows)
+	}
+}
+
+// TestScorerZeroQueryAndRows matches hdc.ArgmaxCosine conventions.
+func TestScorerZeroQueryAndRows(t *testing.T) {
+	class := hdc.NewMatrix(3, 8)
+	s := NewScorer(class) // all rows zero
+	q := make([]float32, 8)
+	if got := s.PredictEncoded(q); got != 0 {
+		t.Errorf("all-zero scoring should return class 0, got %d", got)
+	}
+	class.Row(2)[1] = 1
+	s.Refresh()
+	q[1] = 1
+	if got := s.PredictEncoded(q); got != 2 {
+		t.Errorf("expected class 2, got %d", got)
+	}
+}

@@ -41,17 +41,48 @@ type Encoder interface {
 	Regenerate(dims []int)
 }
 
-// EncodeBatch encodes every row of x (n×InDim) into a new n×Dim matrix,
-// parallelized across samples.
+// BatchEncoder is implemented by encoders with a blocked batch kernel
+// (one GEMM-style pass instead of row-at-a-time encoding). EncodeBatch
+// uses it when present; implementations must produce bit-identical output
+// to row-at-a-time Encode.
+type BatchEncoder interface {
+	Encoder
+	// EncodeBatchInto encodes every row of x into the matching row of out.
+	EncodeBatchInto(x, out *hdc.Matrix)
+}
+
+// encPanel is the number of encoder base rows processed per kernel panel:
+// 64 rows of float32 features keep a panel within L1 alongside the input
+// row and pre-activation buffer. Output values are independent of the
+// panel size; it only affects cache behavior.
+const encPanel = 64
+
+// EncodeBatch encodes every row of x (n×InDim) into a new n×Dim matrix
+// through the blocked batch kernel when the encoder has one, otherwise
+// row-at-a-time in parallel.
 func EncodeBatch(e Encoder, x *hdc.Matrix) *hdc.Matrix {
+	out := hdc.NewMatrix(x.Rows, e.Dim())
+	EncodeBatchInto(e, x, out)
+	return out
+}
+
+// EncodeBatchInto encodes every row of x into the matching row of out
+// (n×Dim), reusing out's storage — the allocation-free form of
+// EncodeBatch for pooled buffers.
+func EncodeBatchInto(e Encoder, x, out *hdc.Matrix) {
 	if x.Cols != e.InDim() {
 		panic(fmt.Sprintf("encoder: batch has %d features, encoder wants %d", x.Cols, e.InDim()))
 	}
-	out := hdc.NewMatrix(x.Rows, e.Dim())
+	if out.Rows != x.Rows || out.Cols != e.Dim() {
+		panic(fmt.Sprintf("encoder: batch output is %dx%d, want %dx%d", out.Rows, out.Cols, x.Rows, e.Dim()))
+	}
+	if b, ok := e.(BatchEncoder); ok {
+		b.EncodeBatchInto(x, out)
+		return
+	}
 	hdc.ParallelFor(x.Rows, func(i int) {
 		e.Encode(x.Row(i), out.Row(i))
 	})
-	return out
 }
 
 // EncodeDimsBatch recomputes the listed output dimensions for every row of
@@ -104,20 +135,60 @@ func (e *RBF) Dim() int { return e.base.Rows }
 // InDim returns the expected feature count.
 func (e *RBF) InDim() int { return e.base.Cols }
 
-// Encode writes cos(B·x + b) into dst.
+// Encode writes cos(B·x + b) into dst through the panel kernel: blocked
+// lane-wise dot products (hdc.DotPanel) with the fused table-cosine
+// epilogue (hdc.CosInto). Bit-identical to EncodeBatchInto and EncodeDims.
 func (e *RBF) Encode(x, dst []float32) {
 	if len(x) != e.InDim() || len(dst) != e.Dim() {
 		panic("encoder: RBF.Encode length mismatch")
 	}
-	for d := 0; d < e.base.Rows; d++ {
-		dst[d] = float32(math.Cos(hdc.Dot(e.base.Row(d), x) + float64(e.bias[d])))
+	f := e.base.Cols
+	var pre [encPanel]float32
+	for j0 := 0; j0 < e.base.Rows; j0 += encPanel {
+		j1 := j0 + encPanel
+		if j1 > e.base.Rows {
+			j1 = e.base.Rows
+		}
+		hdc.DotPanel(x, e.base.Data[j0*f:], f, pre[:j1-j0])
+		hdc.CosInto(dst[j0:j1], pre[:j1-j0], e.bias[j0:j1])
 	}
 }
 
-// EncodeDims recomputes only the listed dimensions.
+// EncodeBatchInto encodes every row of x into out as one blocked pass:
+// the base matrix is walked in L1-sized panels reused across all samples
+// of a chunk, so the batch costs one cache-resident GEMM plus the cosine
+// epilogue instead of n independent matvecs.
+func (e *RBF) EncodeBatchInto(x, out *hdc.Matrix) {
+	if hdc.Serial(x.Rows) {
+		e.encodeChunk(x, out, 0, x.Rows)
+		return
+	}
+	hdc.ParallelChunks(x.Rows, func(lo, hi int) { e.encodeChunk(x, out, lo, hi) })
+}
+
+// encodeChunk encodes sample rows [lo, hi), reusing each base panel
+// across the whole chunk.
+func (e *RBF) encodeChunk(x, out *hdc.Matrix, lo, hi int) {
+	f := e.base.Cols
+	var pre [encPanel]float32
+	for j0 := 0; j0 < e.base.Rows; j0 += encPanel {
+		j1 := j0 + encPanel
+		if j1 > e.base.Rows {
+			j1 = e.base.Rows
+		}
+		panel := e.base.Data[j0*f:]
+		for i := lo; i < hi; i++ {
+			hdc.DotPanel(x.Row(i), panel, f, pre[:j1-j0])
+			hdc.CosInto(out.Row(i)[j0:j1], pre[:j1-j0], e.bias[j0:j1])
+		}
+	}
+}
+
+// EncodeDims recomputes only the listed dimensions, with the same kernel
+// numerics as Encode (hdc.DotLanes is the scalar form of hdc.DotPanel).
 func (e *RBF) EncodeDims(x, dst []float32, dims []int) {
 	for _, d := range dims {
-		dst[d] = float32(math.Cos(hdc.Dot(e.base.Row(d), x) + float64(e.bias[d])))
+		dst[d] = hdc.Cos32(hdc.DotLanes(e.base.Row(d), x) + e.bias[d])
 	}
 }
 
@@ -158,18 +229,24 @@ func (e *Linear) Dim() int { return e.base.Rows }
 // InDim returns the expected feature count.
 func (e *Linear) InDim() int { return e.base.Cols }
 
-// Encode writes B·x into dst.
+// Encode writes B·x into dst through the panel kernel.
 func (e *Linear) Encode(x, dst []float32) {
 	if len(x) != e.InDim() || len(dst) != e.Dim() {
 		panic("encoder: Linear.Encode length mismatch")
 	}
-	e.base.MulVec(x, dst)
+	hdc.DotPanel(x, e.base.Data, e.base.Cols, dst)
 }
 
-// EncodeDims recomputes only the listed dimensions.
+// EncodeBatchInto encodes the whole batch as one blocked matrix product.
+func (e *Linear) EncodeBatchInto(x, out *hdc.Matrix) {
+	hdc.MatMulT(x, e.base, out)
+}
+
+// EncodeDims recomputes only the listed dimensions, matching Encode's
+// kernel numerics.
 func (e *Linear) EncodeDims(x, dst []float32, dims []int) {
 	for _, d := range dims {
-		dst[d] = float32(hdc.Dot(e.base.Row(d), x))
+		dst[d] = hdc.DotLanes(e.base.Row(d), x)
 	}
 }
 

@@ -323,3 +323,41 @@ func BenchmarkRBFEncode4096(b *testing.B) {
 		e.Encode(x, dst)
 	}
 }
+
+// TestEncodeBatchBitIdenticalAllEncoders pins the blocked batch kernels
+// (RBF panel GEMM, Linear MatMulT, generic fallback for IDLevel) to
+// row-at-a-time Encode, bitwise.
+func TestEncodeBatchBitIdenticalAllEncoders(t *testing.T) {
+	r := rng.New(61)
+	x := hdc.NewMatrix(333, 9) // sample count straddles chunk boundaries
+	r.FillNorm(x.Data, 0, 1)
+	for name, e := range encoders(9, 100, 17) { // dim not a panel multiple
+		out := EncodeBatch(e, x)
+		want := make([]float32, 100)
+		for i := 0; i < x.Rows; i++ {
+			e.Encode(x.Row(i), want)
+			got := out.Row(i)
+			for d := range want {
+				if got[d] != want[d] {
+					t.Fatalf("%s: row %d dim %d: batch %v != single %v", name, i, d, got[d], want[d])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBatchIntoValidation covers the reuse entry point's checks.
+func TestEncodeBatchIntoValidation(t *testing.T) {
+	e := NewRBF(7, 96, 0, 2)
+	x := hdc.NewMatrix(5, 7)
+	for i, out := range []*hdc.Matrix{hdc.NewMatrix(4, 96), hdc.NewMatrix(5, 95)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on bad output shape", i)
+				}
+			}()
+			EncodeBatchInto(e, x, out)
+		}()
+	}
+}

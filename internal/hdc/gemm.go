@@ -1,0 +1,297 @@
+package hdc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the high-performance kernel layer behind encoding and
+// scoring: multi-row dot panels, cache-blocked matrix products, and the
+// fused cosine epilogue of the RBF encoder.
+//
+// # Numerics
+//
+// The kernels accumulate in eight float32 lanes — lane j sums the products
+// at indices congruent to j mod 8 — and fold the lanes sequentially
+// (l0+l1+...+l7) into a float32 result that callers widen to float64.
+// This lane structure is what an 8-wide vector unit computes with unfused
+// multiply/add, so the amd64 AVX path and the portable Go path produce
+// bit-identical results, and so does any tiling of the surrounding loops:
+// each output's summation order depends only on its own row, never on how
+// outputs are grouped into panels or goroutines. DotLanes is the scalar
+// reference for that contract; every kernel in this file matches it
+// exactly, which the package tests assert.
+//
+// Lane-wise float32 accumulation trades the float64 partial products of
+// Dot for ~an order of magnitude of throughput. Over the vector lengths
+// used here (tens to a few thousand elements of roughly unit scale) the
+// relative error stays within a few 1e-6, well below the discrimination
+// scale of HDC class similarities; norms and learning-rule similarities
+// keep the float64 Dot path.
+
+// panelTargetBytes sizes the row panels MatMulT streams through the inner
+// kernel: a panel of B rows should sit in L1 alongside the current A row
+// and the output tile, so every A row reuses the panel from cache.
+const panelTargetBytes = 16 << 10
+
+// DotLanes is the scalar reference implementation of the kernel dot
+// product: eight float32 lane accumulators over index classes mod 8,
+// folded sequentially. DotPanel and everything built on it produce
+// bit-identical sums; use Dot when float64 partial products matter.
+func DotLanes(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("hdc: DotLanes length mismatch")
+	}
+	var l [8]float32
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		l[0] += a[i] * b[i]
+		l[1] += a[i+1] * b[i+1]
+		l[2] += a[i+2] * b[i+2]
+		l[3] += a[i+3] * b[i+3]
+		l[4] += a[i+4] * b[i+4]
+		l[5] += a[i+5] * b[i+5]
+		l[6] += a[i+6] * b[i+6]
+		l[7] += a[i+7] * b[i+7]
+	}
+	for ; i < len(a); i++ {
+		l[i&7] += a[i] * b[i]
+	}
+	s := l[0]
+	for _, v := range l[1:] {
+		s += v
+	}
+	return s
+}
+
+// DotPanel computes out[r] = DotLanes(x, b[r*stride : r*stride+len(x)])
+// for every r in [0, len(out)) — one query against a panel of contiguous
+// rows. It is the inner kernel of MatMulT, batch encoding, and class
+// scoring, dispatching to the AVX implementation when available.
+func DotPanel(x, b []float32, stride int, out []float32) {
+	n, rows := len(x), len(out)
+	if stride < n {
+		panic("hdc: DotPanel stride shorter than vector")
+	}
+	if rows > 0 && (rows-1)*stride+n > len(b) {
+		panic("hdc: DotPanel panel out of range")
+	}
+	if rows == 0 {
+		return
+	}
+	if n == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return
+	}
+	if useAVX {
+		dotPanelAVX(&x[0], &b[0], &out[0], n, stride, rows)
+		return
+	}
+	dotPanelGeneric(x, b, stride, out)
+}
+
+// dotPanelGeneric is the portable DotPanel: four rows per pass share the
+// query loads, each row accumulating in the DotLanes pattern.
+func dotPanelGeneric(x, b []float32, stride int, out []float32) {
+	n := len(x)
+	r := 0
+	for ; r+4 <= len(out); r += 4 {
+		r0 := b[(r+0)*stride:][:n:n]
+		r1 := b[(r+1)*stride:][:n:n]
+		r2 := b[(r+2)*stride:][:n:n]
+		r3 := b[(r+3)*stride:][:n:n]
+		var l0, l1, l2, l3 [8]float32
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			for j := 0; j < 8; j++ {
+				xv := x[i+j]
+				l0[j] += xv * r0[i+j]
+				l1[j] += xv * r1[i+j]
+				l2[j] += xv * r2[i+j]
+				l3[j] += xv * r3[i+j]
+			}
+		}
+		for ; i < n; i++ {
+			xv := x[i]
+			l0[i&7] += xv * r0[i]
+			l1[i&7] += xv * r1[i]
+			l2[i&7] += xv * r2[i]
+			l3[i&7] += xv * r3[i]
+		}
+		out[r+0] = foldLanes(&l0)
+		out[r+1] = foldLanes(&l1)
+		out[r+2] = foldLanes(&l2)
+		out[r+3] = foldLanes(&l3)
+	}
+	for ; r < len(out); r++ {
+		out[r] = DotLanes(x, b[r*stride:][:n:n])
+	}
+}
+
+func foldLanes(l *[8]float32) float32 {
+	s := l[0]
+	for _, v := range l[1:] {
+		s += v
+	}
+	return s
+}
+
+// panelRows picks the B-panel height for an inner dimension of cols so a
+// panel stays within panelTargetBytes (at least 4 rows, multiple of 4).
+func panelRows(cols int) int {
+	p := panelTargetBytes / (4 * cols)
+	if p < 4 {
+		return 4
+	}
+	return p &^ 3
+}
+
+// MatMulT computes dst = a · bᵀ where a is m×k and b is n×k, so dst is
+// m×n: dst[i][j] is the kernel dot of a's row i with b's row j. It blocks
+// b into L1-sized panels, parallelizes over rows of a with ParallelChunks,
+// and produces bit-identical results to the naive DotLanes double loop
+// regardless of blocking or worker count.
+func MatMulT(a, b, dst *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("hdc: MatMulT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("hdc: MatMulT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if a.Rows == 0 || b.Rows == 0 {
+		return
+	}
+	if Serial(a.Rows) {
+		matMulTChunk(a, b, dst, 0, a.Rows)
+		return
+	}
+	ParallelChunks(a.Rows, func(lo, hi int) { matMulTChunk(a, b, dst, lo, hi) })
+}
+
+// matMulTChunk computes rows [lo, hi) of MatMulT, walking b in L1-sized
+// panels reused across the chunk's rows of a.
+func matMulTChunk(a, b, dst *Matrix, lo, hi int) {
+	pr := panelRows(b.Cols)
+	for j0 := 0; j0 < b.Rows; j0 += pr {
+		j1 := j0 + pr
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		panel := b.Data[j0*b.Cols:]
+		for i := lo; i < hi; i++ {
+			DotPanel(a.Row(i), panel, b.Cols, dst.Row(i)[j0:j1])
+		}
+	}
+}
+
+// matmulScratch recycles the transposed-operand buffer of MatMul.
+var matmulScratch = sync.Pool{New: func() any { return new(Matrix) }}
+
+// MatMul computes dst = a · b where a is m×k and b is k×n. The row-major
+// layout makes b's columns strided, so the kernel transposes b once into
+// pooled scratch and runs the blocked MatMulT path; results are
+// bit-identical to MatMulT on the transposed operand by construction.
+func MatMul(a, b, dst *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("hdc: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("hdc: MatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	bt := matmulScratch.Get().(*Matrix)
+	bt.Resize(b.Cols, b.Rows)
+	Transpose(b, bt)
+	MatMulT(a, bt, dst)
+	matmulScratch.Put(bt)
+}
+
+// Transpose writes bᵀ into dst (dst must be b.Cols × b.Rows).
+func Transpose(b, dst *Matrix) {
+	if dst.Rows != b.Cols || dst.Cols != b.Rows {
+		panic("hdc: Transpose shape mismatch")
+	}
+	// Block 32×32 so both matrices are touched in cache-line-sized runs.
+	const tb = 32
+	for i0 := 0; i0 < b.Rows; i0 += tb {
+		i1 := i0 + tb
+		if i1 > b.Rows {
+			i1 = b.Rows
+		}
+		for j0 := 0; j0 < b.Cols; j0 += tb {
+			j1 := j0 + tb
+			if j1 > b.Cols {
+				j1 = b.Cols
+			}
+			for i := i0; i < i1; i++ {
+				row := b.Row(i)
+				for j := j0; j < j1; j++ {
+					dst.Data[j*dst.Cols+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// Kernel cosine constants: single-precision half-period reduction
+// (Cody–Waite split of π) plus a degree-12 even Taylor polynomial on
+// [-π/2, π/2] and a parity sign flip. Every step is a single-rounded
+// float32 operation, so the scalar form below and the 8-lane AVX2 form in
+// gemm_amd64.s (same ops, vectorized) are bit-identical. Worst absolute
+// error is a few float32 ulps (~2e-7) — below the resolution of the
+// unit-range outputs the RBF encoder stores. Callers needing float64
+// cosines want math.Cos, not this.
+const (
+	cosInvPi = float32(1 / math.Pi)
+	cosPiHi  = float32(3.140625) // 8-bit mantissa: n*cosPiHi is exact for |n| < 2^15
+	cosPiLo  = float32(math.Pi - 3.140625)
+	cosC6    = float32(1.0 / 479001600)
+	cosC5    = float32(-1.0 / 3628800)
+	cosC4    = float32(1.0 / 40320)
+	cosC3    = float32(-1.0 / 720)
+	cosC2    = float32(1.0 / 24)
+	cosC1    = float32(-0.5)
+)
+
+// Cos32 is the kernel cosine. Every RBF encode path (single, batch,
+// per-dimension refresh) evaluates exactly this function — scalar here,
+// vectorized in assembly — so their outputs are bit-identical. Arguments
+// are assumed moderate (|x| ≲ 2^15, far beyond any encoder
+// pre-activation); it is not a general-range math.Cos replacement.
+func Cos32(x float32) float32 {
+	v := x * cosInvPi
+	n := float32(math.RoundToEven(float64(v)))
+	r := x - n*cosPiHi
+	r -= n * cosPiLo
+	z := r * r
+	p := cosC6
+	p = p*z + cosC5
+	p = p*z + cosC4
+	p = p*z + cosC3
+	p = p*z + cosC2
+	p = p*z + cosC1
+	p = p*z + 1
+	// cos(x) = (-1)^n · cos(r): flip the sign bit on odd half-periods.
+	return math.Float32frombits(math.Float32bits(p) ^ uint32(int32(n))<<31)
+}
+
+// CosInto writes the fused RBF epilogue dst[i] = Cos32(pre[i] + bias[i]):
+// the pre-activations of a dot panel plus the encoder phases, in one
+// vectorized pass.
+func CosInto(dst, pre, bias []float32) {
+	if len(pre) != len(dst) || len(bias) != len(dst) {
+		panic("hdc: CosInto length mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX2 {
+		cosIntoAVX2(&dst[0], &pre[0], &bias[0], len(dst))
+		return
+	}
+	for i, p := range pre {
+		dst[i] = Cos32(p + bias[i])
+	}
+}

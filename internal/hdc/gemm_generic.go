@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package hdc
+
+// Non-amd64 builds always take the portable kernels, which are
+// bit-identical to the AVX paths by construction.
+const (
+	useAVX  = false
+	useAVX2 = false
+)
+
+func dotPanelAVX(x, b, out *float32, n, stride, rows int) {
+	panic("hdc: dotPanelAVX without AVX support")
+}
+
+func cosIntoAVX2(dst, pre, bias *float32, n int) {
+	panic("hdc: cosIntoAVX2 without AVX2 support")
+}

@@ -1,0 +1,342 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"cyberhd/internal/rng"
+)
+
+// raggedSizes exercises vector lengths around every kernel boundary: the
+// 8-lane main loop, the masked tail, and panel edges.
+var raggedSizes = []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 41, 63, 64, 65, 78, 100, 127, 128, 129, 511, 512, 513}
+
+func TestDotLanesMatchesDot(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range raggedSizes {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		r.FillNorm(a, 0, 1)
+		r.FillNorm(b, 0, 1)
+		got := float64(DotLanes(a, b))
+		want := Dot(a, b)
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("n=%d: DotLanes %v vs Dot %v", n, got, want)
+		}
+	}
+}
+
+func TestDotLanesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	DotLanes([]float32{1}, []float32{1, 2})
+}
+
+// TestDotPanelMatchesDotLanes pins the kernel contract: the dispatched
+// panel kernel (AVX when available) must be bit-identical to the scalar
+// DotLanes reference on every row, for ragged lengths, row counts around
+// the 4-row tile, and strides larger than the vector.
+func TestDotPanelMatchesDotLanes(t *testing.T) {
+	t.Logf("useAVX=%v", useAVX)
+	r := rng.New(2)
+	for _, n := range raggedSizes {
+		for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 13} {
+			stride := n + r.Intn(3)
+			x := make([]float32, n)
+			b := make([]float32, rows*stride+n)
+			r.FillNorm(x, 0, 1)
+			r.FillNorm(b, 0, 1)
+			out := make([]float32, rows)
+			DotPanel(x, b, stride, out)
+			for i := range out {
+				want := DotLanes(x, b[i*stride:][:n:n])
+				if out[i] != want {
+					t.Fatalf("n=%d rows=%d stride=%d row %d: DotPanel %v != DotLanes %v",
+						n, rows, stride, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDotPanelAVXMatchesGeneric cross-checks the two implementations
+// directly (redundant with the DotLanes test, but it pins asm against Go
+// even if the reference ever drifts).
+func TestDotPanelAVXMatchesGeneric(t *testing.T) {
+	if !useAVX {
+		t.Skip("AVX unavailable")
+	}
+	r := rng.New(3)
+	for _, n := range raggedSizes {
+		rows := 1 + r.Intn(9)
+		x := make([]float32, n)
+		b := make([]float32, rows*n)
+		r.FillNorm(x, 0, 1)
+		r.FillNorm(b, 0, 1)
+		got := make([]float32, rows)
+		want := make([]float32, rows)
+		dotPanelAVX(&x[0], &b[0], &got[0], n, n, rows)
+		dotPanelGeneric(x, b, n, want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d rows=%d row %d: asm %v != generic %v", n, rows, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotPanelEdgeCases(t *testing.T) {
+	out := []float32{7, 7}
+	DotPanel(nil, nil, 0, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty vectors should zero the output, got %v", out)
+	}
+	DotPanel([]float32{1}, []float32{2}, 1, nil) // rows == 0: no-op
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on short stride")
+			}
+		}()
+		DotPanel(make([]float32, 4), make([]float32, 8), 2, make([]float32, 1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on panel overrun")
+			}
+		}()
+		DotPanel(make([]float32, 4), make([]float32, 7), 4, make([]float32, 2))
+	}()
+}
+
+// matMulTNaive is the unblocked reference: the kernel dot of every row
+// pair, no tiling, no parallelism.
+func matMulTNaive(a, b, dst *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			dst.Set(i, j, DotLanes(a.Row(i), b.Row(j)))
+		}
+	}
+}
+
+// TestMatMulTMatchesNaive is the blocking-determinism test: the
+// cache-blocked, chunk-parallel product must be bit-identical to the
+// naive double loop on shapes that do not divide the panel or tile sizes.
+func TestMatMulTMatchesNaive(t *testing.T) {
+	r := rng.New(4)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {4, 8, 4}, {7, 78, 13}, {33, 17, 29},
+		{5, 512, 10}, {300, 41, 130}, {64, 78, 512},
+	}
+	for _, s := range shapes {
+		a := NewMatrix(s.m, s.k)
+		b := NewMatrix(s.n, s.k)
+		r.FillNorm(a.Data, 0, 1)
+		r.FillNorm(b.Data, 0, 1)
+		got := NewMatrix(s.m, s.n)
+		want := NewMatrix(s.m, s.n)
+		MatMulT(a, b, got)
+		matMulTNaive(a, b, want)
+		if !got.Equal(want) {
+			t.Fatalf("%dx%d·(%dx%d)ᵀ: blocked != naive", s.m, s.k, s.n, s.k)
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(5)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {7, 13, 11}, {33, 29, 17}, {64, 78, 40},
+	}
+	for _, s := range shapes {
+		a := NewMatrix(s.m, s.k)
+		b := NewMatrix(s.k, s.n)
+		r.FillNorm(a.Data, 0, 1)
+		r.FillNorm(b.Data, 0, 1)
+		got := NewMatrix(s.m, s.n)
+		MatMul(a, b, got)
+		// Reference: transpose then the naive kernel loop.
+		bt := NewMatrix(s.n, s.k)
+		for i := 0; i < s.k; i++ {
+			for j := 0; j < s.n; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		want := NewMatrix(s.m, s.n)
+		matMulTNaive(a, bt, want)
+		if !got.Equal(want) {
+			t.Fatalf("%dx%d·%dx%d: MatMul != naive", s.m, s.k, s.k, s.n)
+		}
+	}
+}
+
+func TestMatMulTShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMulT(NewMatrix(2, 3), NewMatrix(2, 4), NewMatrix(2, 2)) },
+		func() { MatMulT(NewMatrix(2, 3), NewMatrix(2, 3), NewMatrix(2, 3)) },
+		func() { MatMul(NewMatrix(2, 3), NewMatrix(4, 2), NewMatrix(2, 2)) },
+		func() { MatMul(NewMatrix(2, 3), NewMatrix(3, 2), NewMatrix(3, 2)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	r := rng.New(6)
+	b := NewMatrix(37, 53)
+	r.FillNorm(b.Data, 0, 1)
+	bt := NewMatrix(53, 37)
+	Transpose(b, bt)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			if b.At(i, j) != bt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixResize(t *testing.T) {
+	m := NewMatrix(4, 8)
+	data := &m.Data[0]
+	m.Resize(2, 6)
+	if m.Rows != 2 || m.Cols != 6 || len(m.Data) != 12 {
+		t.Fatalf("resize to 2x6 gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Error("shrinking resize reallocated")
+	}
+	m.Resize(10, 10)
+	if len(m.Data) != 100 {
+		t.Fatalf("growing resize len %d", len(m.Data))
+	}
+}
+
+func TestCos32Accuracy(t *testing.T) {
+	worst := 0.0
+	for x := -40.0; x < 40.0; x += 0.00037 {
+		d := math.Abs(float64(Cos32(float32(x))) - math.Cos(float64(float32(x))))
+		if d > worst {
+			worst = d
+		}
+	}
+	t.Logf("worst abs err %g", worst)
+	if worst > 1e-6 {
+		t.Errorf("Cos32 worst error %g exceeds 1e-6", worst)
+	}
+}
+
+// TestCosIntoMatchesScalar pins the vectorized epilogue (AVX2 when
+// available) to the scalar Cos32 mirror, bitwise, across ragged lengths.
+func TestCosIntoMatchesScalar(t *testing.T) {
+	t.Logf("useAVX2=%v", useAVX2)
+	r := rng.New(7)
+	for _, n := range raggedSizes {
+		pre := make([]float32, n)
+		bias := make([]float32, n)
+		dst := make([]float32, n)
+		r.FillNorm(pre, 0, 2)
+		r.FillUniform(bias, 0, 2*math.Pi)
+		CosInto(dst, pre, bias)
+		for i := range dst {
+			if want := Cos32(pre[i] + bias[i]); dst[i] != want {
+				t.Fatalf("n=%d: CosInto[%d] = %v, want scalar %v", n, i, dst[i], want)
+			}
+			if dst[i] < -1.000001 || dst[i] > 1.000001 {
+				t.Fatalf("CosInto[%d] = %v out of range", i, dst[i])
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on length mismatch")
+			}
+		}()
+		CosInto(make([]float32, 4), make([]float32, 3), make([]float32, 4))
+	}()
+}
+
+func TestMatMulTAllocFree(t *testing.T) {
+	a := NewMatrix(32, 78)
+	b := NewMatrix(512, 78)
+	dst := NewMatrix(32, 512)
+	allocs := testing.AllocsPerRun(20, func() { MatMulT(a, b, dst) })
+	if allocs != 0 {
+		t.Errorf("MatMulT allocated %.1f objects per call", allocs)
+	}
+}
+
+func BenchmarkDotPanelEncodeShape(b *testing.B) {
+	x := make([]float32, 78)
+	m := NewMatrix(512, 78)
+	out := make([]float32, 512)
+	r := rng.New(8)
+	r.FillNorm(x, 0, 1)
+	r.FillNorm(m.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotPanel(x, m.Data, 78, out)
+	}
+}
+
+func BenchmarkDotPanelScoreShape(b *testing.B) {
+	q := make([]float32, 512)
+	m := NewMatrix(8, 512)
+	out := make([]float32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotPanel(q, m.Data, 512, out)
+	}
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	a := NewMatrix(256, 78)
+	m := NewMatrix(512, 78)
+	dst := NewMatrix(256, 512)
+	r := rng.New(9)
+	r.FillNorm(a.Data, 0, 1)
+	r.FillNorm(m.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(a, m, dst)
+	}
+}
+
+func BenchmarkCos32(b *testing.B) {
+	x := float32(0.7)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = Cos32(x)
+		x += 0.1
+		if x > 40 {
+			x = -40
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkCosInto(b *testing.B) {
+	r := rng.New(10)
+	pre := make([]float32, 512)
+	bias := make([]float32, 512)
+	dst := make([]float32, 512)
+	r.FillNorm(pre, 0, 2)
+	r.FillUniform(bias, 0, 2*math.Pi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CosInto(dst, pre, bias)
+	}
+}

@@ -29,6 +29,21 @@ func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
 // Set assigns the element at (r, c).
 func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
 
+// Resize reshapes m to rows×cols, reusing the existing allocation when it
+// is large enough. Contents after a resize are unspecified (stale values
+// survive when capacity is reused); callers must overwrite every element
+// they read.
+func (m *Matrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("hdc: Resize with negative dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

@@ -5,13 +5,26 @@ import (
 	"sync"
 )
 
+// parallelThreshold is the iteration count below which fan-out overhead
+// dominates and loops run inline.
+const parallelThreshold = 256
+
+// Serial reports whether a loop over n items would run inline (single
+// chunk, current goroutine) rather than fan out. Allocation-free paths
+// check it before constructing a closure for ParallelChunks: a func
+// value passed to a potentially-goroutine-spawning callee always escapes
+// to the heap, even on the inline path.
+func Serial(n int) bool {
+	return n < parallelThreshold || runtime.GOMAXPROCS(0) <= 1
+}
+
 // ParallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers,
 // splitting the range into contiguous chunks so adjacent indices stay on
 // the same core (cache-friendly for row-major batch work). It runs inline
 // when n is small enough that goroutine overhead would dominate.
 func ParallelFor(n int, body func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if n < 256 || workers <= 1 {
+	if n < parallelThreshold || workers <= 1 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
@@ -46,7 +59,7 @@ func ParallelFor(n int, body func(i int)) {
 // Use when per-chunk setup (scratch buffers) matters.
 func ParallelChunks(n int, body func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if n < 256 || workers <= 1 {
+	if n < parallelThreshold || workers <= 1 {
 		body(0, n)
 		return
 	}

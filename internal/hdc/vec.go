@@ -119,6 +119,33 @@ func ArgmaxCosine(m *Matrix, q []float32) (best int, sim float64) {
 	return best, sim
 }
 
+// ArgmaxCosineNormed is ArgmaxCosine with precomputed row norms: it skips
+// the per-call norm recomputation that dominates repeated prediction.
+// rowNorms must hold Norm of every row (see Matrix.RowNorms). This is the
+// float64 reference form; core.Scorer implements the same zero-norm and
+// tie-break conventions over the float32 kernel layer — keep the three in
+// agreement.
+func ArgmaxCosineNormed(m *Matrix, q []float32, rowNorms []float64) (best int, sim float64) {
+	if len(rowNorms) != m.Rows {
+		panic("hdc: ArgmaxCosineNormed norms length mismatch")
+	}
+	best, sim = -1, math.Inf(-1)
+	nq := Norm(q)
+	if nq == 0 {
+		return 0, 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		if nr := rowNorms[r]; nr > 0 {
+			s = Dot(m.Row(r), q) / (nr * nq)
+		}
+		if s > sim {
+			best, sim = r, s
+		}
+	}
+	return best, sim
+}
+
 // Similarities writes the cosine similarity of q against every row of m
 // into out (len(out) must equal m.Rows) using precomputed row norms
 // rowNorms (may be nil, in which case norms are computed on the fly).

@@ -4,7 +4,7 @@
 //
 // We do not have the physical testbeds, so each platform is modeled by the
 // mechanism Table I demonstrates and calibrated against the paper's
-// published normalized ratios (see DESIGN.md, substitution table):
+// published normalized ratios (substitution table in the paper reproduction notes):
 //
 //   - CPU: a scalar/short-SIMD machine retires roughly one element per
 //     ALU op regardless of element bitwidth, so query energy scales with

@@ -107,6 +107,13 @@ func safeDiv(a, b float64) float64 {
 // completed flow. Call only after the assembler evicts the flow (finish
 // has run).
 func (f *Flow) Features() []float32 {
+	return f.AppendFeatures(make([]float32, 0, NumFeatures))
+}
+
+// AppendFeatures appends the NumFeatures feature values to v and returns
+// the extended slice — the allocation-free form of Features for callers
+// that reuse buffers (the streaming engine's classification hot path).
+func (f *Flow) AppendFeatures(v []float32) []float32 {
 	dur := f.Duration()
 	var all Stats
 	// Combined packet-length stats from the directional accumulators
@@ -125,7 +132,6 @@ func (f *Flow) Features() []float32 {
 		segMin = 0
 	}
 
-	v := make([]float32, 0, NumFeatures)
 	push := func(x float64) { v = append(v, float32(x)) }
 
 	push(dur)

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"cyberhd/internal/datasets"
+	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
 )
 
@@ -21,6 +22,14 @@ import (
 // quantize.Model both satisfy it.
 type Classifier interface {
 	Predict(x []float32) int
+}
+
+// BatchClassifier is the optional micro-batch interface (core.Model and
+// quantize.Model implement it): classify every row of x into out through
+// the blocked encode/score kernels. Implementations must be bit-identical
+// to per-row Predict so batch mode never changes verdicts.
+type BatchClassifier interface {
+	PredictBatchInto(x *hdc.Matrix, out []int)
 }
 
 // Alert is one non-benign verdict.
@@ -57,6 +66,12 @@ type Config struct {
 	// IdleTimeout and ActivityGap configure flow assembly (defaults: 120 s
 	// and 1 s, the CIC conventions).
 	IdleTimeout, ActivityGap float64
+	// BatchSize > 1 buffers completed flows and classifies them in
+	// micro-batches through the model's BatchClassifier path, trading a
+	// bounded verdict delay (at most BatchSize-1 flows, cleared by Tick
+	// and Flush) for GEMM-rate throughput. 0 or 1 classifies every flow
+	// immediately; models without PredictBatchInto also run immediately.
+	BatchSize int
 	// OnAlert, when set, receives every alert synchronously.
 	OnAlert func(Alert)
 }
@@ -67,6 +82,22 @@ type Engine struct {
 	asm   *netflow.Assembler
 	stats Stats
 	buf   []float32
+
+	// Micro-batch state: pending features accumulate as rows of pendX
+	// (viewed through pendView at the current fill) and classify into
+	// preds when the batch fills, Tick fires, or Flush drains. All
+	// buffers are preallocated so the steady-state path never allocates.
+	batch     BatchClassifier
+	pendX     *hdc.Matrix
+	pendView  hdc.Matrix
+	pendFlows []*netflow.Flow
+	preds     []int
+	fbBuf     []float32
+	// flushing guards re-entrancy: an OnAlert callback may Feed packets
+	// back into the engine, completing flows while a batch is mid-flush;
+	// those classify synchronously instead of corrupting the pending
+	// buffers.
+	flushing bool
 }
 
 // New validates cfg and builds an engine.
@@ -89,6 +120,14 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg}
 	e.stats.ByClass = make([]int, len(cfg.ClassNames))
 	e.asm = netflow.NewAssembler(cfg.IdleTimeout, cfg.ActivityGap, e.onFlow)
+	if cfg.BatchSize > 1 {
+		if bc, ok := cfg.Model.(BatchClassifier); ok {
+			e.batch = bc
+			e.pendX = hdc.NewMatrix(cfg.BatchSize, netflow.NumFeatures)
+			e.pendFlows = make([]*netflow.Flow, 0, cfg.BatchSize)
+			e.preds = make([]int, cfg.BatchSize)
+		}
+	}
 	return e, nil
 }
 
@@ -99,11 +138,19 @@ func (e *Engine) Feed(p *netflow.Packet) {
 }
 
 // Tick evicts flows idle at capture time now (call periodically on live
-// streams with silence gaps).
-func (e *Engine) Tick(now float64) { e.asm.EvictIdle(now) }
+// streams with silence gaps) and drains any partially-filled micro-batch
+// so verdict latency stays bounded during quiet periods.
+func (e *Engine) Tick(now float64) {
+	e.asm.EvictIdle(now)
+	e.flushBatch()
+}
 
-// Flush completes all in-progress flows (end of capture).
-func (e *Engine) Flush() { e.asm.Flush() }
+// Flush completes all in-progress flows (end of capture) and classifies
+// everything still pending in the micro-batch buffer.
+func (e *Engine) Flush() {
+	e.asm.Flush()
+	e.flushBatch()
+}
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -112,16 +159,50 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// onFlow featurizes, normalizes and classifies one completed flow.
+// onFlow featurizes, normalizes and classifies one completed flow —
+// immediately in synchronous mode, or once a micro-batch fills in batch
+// mode. Both paths reuse preallocated buffers, so steady-state
+// classification performs no allocations.
 func (e *Engine) onFlow(f *netflow.Flow) {
 	e.stats.Flows++
-	feat := f.Features()
-	if e.buf == nil {
-		e.buf = make([]float32, len(feat))
+	if e.batch != nil && !e.flushing {
+		i := len(e.pendFlows)
+		c := e.pendX.Cols
+		row := f.AppendFeatures(e.pendX.Data[i*c : i*c : (i+1)*c])
+		e.cfg.Normalizer.ApplyVec(row)
+		e.pendFlows = append(e.pendFlows, f)
+		if len(e.pendFlows) == e.cfg.BatchSize {
+			e.flushBatch()
+		}
+		return
 	}
-	copy(e.buf, feat)
+	if e.buf == nil {
+		e.buf = make([]float32, 0, netflow.NumFeatures)
+	}
+	e.buf = f.AppendFeatures(e.buf[:0])
 	e.cfg.Normalizer.ApplyVec(e.buf)
-	class := e.cfg.Model.Predict(e.buf)
+	e.verdict(f, e.cfg.Model.Predict(e.buf))
+}
+
+// flushBatch classifies all pending flows through one blocked batch
+// predict and emits their verdicts in arrival order.
+func (e *Engine) flushBatch() {
+	n := len(e.pendFlows)
+	if n == 0 || e.flushing {
+		return
+	}
+	e.flushing = true
+	defer func() { e.flushing = false }()
+	e.pendView = hdc.Matrix{Rows: n, Cols: e.pendX.Cols, Data: e.pendX.Data[:n*e.pendX.Cols]}
+	e.batch.PredictBatchInto(&e.pendView, e.preds[:n])
+	for i, f := range e.pendFlows {
+		e.verdict(f, e.preds[i])
+	}
+	e.pendFlows = e.pendFlows[:0]
+}
+
+// verdict records one classification and raises an alert when non-benign.
+func (e *Engine) verdict(f *netflow.Flow, class int) {
 	if class < 0 || class >= len(e.stats.ByClass) {
 		class = e.cfg.BenignClass // defensive: never drop a flow on a bad verdict
 	}
@@ -148,11 +229,9 @@ func (e *Engine) Feedback(f *netflow.Flow, label int) bool {
 	if !ok {
 		return false
 	}
-	feat := f.Features()
-	x := make([]float32, len(feat))
-	copy(x, feat)
-	e.cfg.Normalizer.ApplyVec(x)
-	changed := u.Update(x, label)
+	e.fbBuf = f.AppendFeatures(e.fbBuf[:0])
+	e.cfg.Normalizer.ApplyVec(e.fbBuf)
+	changed := u.Update(e.fbBuf, label)
 	if !changed {
 		e.stats.FeedbackOK++
 	}

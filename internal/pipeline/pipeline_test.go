@@ -231,3 +231,123 @@ func TestConcurrentCloseIdempotent(t *testing.T) {
 	conc.Close()
 	conc.Close() // must not panic
 }
+
+// TestBatchModeMatchesSync streams the same capture through a synchronous
+// engine and a micro-batched one: the kernel batch path is bit-identical
+// to per-flow prediction, so every counter must agree exactly.
+func TestBatchModeMatchesSync(t *testing.T) {
+	cfg, live := buildModel(t)
+	sync, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.BatchSize = 64
+	batched, err := New(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.batch == nil {
+		t.Fatal("core.Model did not engage the batch classifier path")
+	}
+	for i := range live.Packets {
+		sync.Feed(&live.Packets[i])
+		batched.Feed(&live.Packets[i])
+	}
+	sync.Flush()
+	batched.Flush()
+	ss, bs := sync.Stats(), batched.Stats()
+	if ss.Flows != bs.Flows || ss.Alerts != bs.Alerts {
+		t.Fatalf("sync flows/alerts %d/%d != batch %d/%d", ss.Flows, ss.Alerts, bs.Flows, bs.Alerts)
+	}
+	for c := range ss.ByClass {
+		if ss.ByClass[c] != bs.ByClass[c] {
+			t.Fatalf("class %d: sync %d != batch %d", c, ss.ByClass[c], bs.ByClass[c])
+		}
+	}
+}
+
+// TestBatchModeFlushesOnTick bounds verdict latency: a partial batch must
+// classify when Tick fires, not wait for BatchSize flows.
+func TestBatchModeFlushesOnTick(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cfg.BatchSize = 64
+	cfg.IdleTimeout = 10
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Tick(100)
+	st := eng.Stats()
+	if st.Flows != 1 {
+		t.Fatalf("flow not evicted: %d", st.Flows)
+	}
+	sum := 0
+	for _, n := range st.ByClass {
+		sum += n
+	}
+	if sum != 1 {
+		t.Fatalf("verdict still pending after Tick: ByClass sums to %d", sum)
+	}
+}
+
+// TestBatchModeFallsBackWithoutBatchClassifier keeps plain Classifier
+// models working when BatchSize is set.
+func TestBatchModeFallsBackWithoutBatchClassifier(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cfg.Model = staticModel{}
+	cfg.BatchSize = 32
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.batch != nil {
+		t.Fatal("static model must not engage batch mode")
+	}
+	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Flush()
+	if eng.Stats().Flows != 1 {
+		t.Fatal("fallback engine dropped the flow")
+	}
+}
+
+// TestOnFlowAllocFree pins the zero-allocation contract of steady-state
+// classification, in both synchronous and micro-batch mode.
+func TestOnFlowAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg, live := buildModel(t)
+	// Harvest completed flows to replay directly into onFlow.
+	var flows []*netflow.Flow
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) { flows = append(flows, f) })
+	for i := range live.Packets {
+		a.Add(&live.Packets[i])
+	}
+	a.Flush()
+	if len(flows) < 10 {
+		t.Fatalf("only %d flows harvested", len(flows))
+	}
+	for name, batch := range map[string]int{"sync": 0, "batch": 8} {
+		cfg := cfg
+		cfg.BatchSize = batch
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range flows { // warm pools and pending buffers
+			eng.onFlow(f)
+		}
+		eng.flushBatch()
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			eng.onFlow(flows[i%len(flows)])
+			i++
+		})
+		eng.flushBatch()
+		if allocs != 0 {
+			t.Errorf("%s mode: onFlow allocates %.2f objects per flow", name, allocs)
+		}
+	}
+}

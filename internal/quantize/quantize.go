@@ -10,6 +10,7 @@ package quantize
 
 import (
 	"fmt"
+	"sync"
 
 	"cyberhd/internal/bitpack"
 	"cyberhd/internal/core"
@@ -26,6 +27,11 @@ type Model struct {
 	Class *bitpack.Matrix
 	// Enc is the (float) encoder shared with the source model.
 	Enc encoder.Encoder
+
+	// hPool recycles encode buffers, encPool batch-encoding matrices, so
+	// repeated Predict/PredictBatchInto calls stop allocating per call.
+	hPool   sync.Pool
+	encPool sync.Pool
 }
 
 // FromCore packs the class memory of m at width w.
@@ -52,11 +58,46 @@ func (m *Model) Dim() int {
 func (m *Model) NumClasses() int { return len(m.Class.Rows) }
 
 // Predict encodes x, packs it at the model width, and returns the class
-// with the highest integer-domain cosine similarity.
+// with the highest integer-domain cosine similarity. The encode buffer is
+// pooled; packing still allocates one query-sized vector per call.
 func (m *Model) Predict(x []float32) int {
-	h := make([]float32, m.Enc.Dim())
-	m.Enc.Encode(x, h)
-	return m.PredictEncoded(h)
+	h, _ := m.hPool.Get().(*[]float32)
+	if h == nil || len(*h) != m.Enc.Dim() {
+		h = new([]float32)
+		*h = make([]float32, m.Enc.Dim())
+	}
+	m.Enc.Encode(x, *h)
+	pred := m.PredictEncoded(*h)
+	m.hPool.Put(h)
+	return pred
+}
+
+// PredictBatch classifies every row of x, batch-encoding through the
+// blocked kernel path before packing each query.
+func (m *Model) PredictBatch(x *hdc.Matrix) []int {
+	out := make([]int, x.Rows)
+	m.PredictBatchInto(x, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into caller storage (len
+// x.Rows), reusing a pooled encoding matrix.
+func (m *Model) PredictBatchInto(x *hdc.Matrix, out []int) {
+	if len(out) != x.Rows {
+		panic("quantize: PredictBatchInto output length mismatch")
+	}
+	enc, _ := m.encPool.Get().(*hdc.Matrix)
+	if enc == nil {
+		enc = new(hdc.Matrix)
+	}
+	enc.Resize(x.Rows, m.Enc.Dim())
+	encoder.EncodeBatchInto(m.Enc, x, enc)
+	if hdc.Serial(x.Rows) {
+		m.classifyRows(enc, out, 0, x.Rows)
+	} else {
+		hdc.ParallelChunks(x.Rows, func(lo, hi int) { m.classifyRows(enc, out, lo, hi) })
+	}
+	m.encPool.Put(enc)
 }
 
 // PredictEncoded classifies an already-encoded float hypervector.
@@ -64,25 +105,24 @@ func (m *Model) PredictEncoded(h []float32) int {
 	return m.Class.Classify(bitpack.Quantize(h, m.Width))
 }
 
+func (m *Model) classifyRows(enc *hdc.Matrix, out []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = m.PredictEncoded(enc.Row(i))
+	}
+}
+
 // Evaluate returns accuracy over the feature matrix x with labels y,
-// parallelized across samples.
+// through the batch encode/classify path.
 func (m *Model) Evaluate(x *hdc.Matrix, y []int) float64 {
 	if x.Rows != len(y) {
 		panic("quantize: Evaluate label mismatch")
 	}
-	correct := make([]int, x.Rows)
-	hdc.ParallelChunks(x.Rows, func(lo, hi int) {
-		h := make([]float32, m.Enc.Dim())
-		for i := lo; i < hi; i++ {
-			m.Enc.Encode(x.Row(i), h)
-			if m.PredictEncoded(h) == y[i] {
-				correct[i] = 1
-			}
-		}
-	})
+	preds := m.PredictBatch(x)
 	total := 0
-	for _, c := range correct {
-		total += c
+	for i, p := range preds {
+		if p == y[i] {
+			total++
+		}
 	}
 	return float64(total) / float64(len(y))
 }

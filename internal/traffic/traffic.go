@@ -1,6 +1,6 @@
 // Package traffic synthesizes labeled packet streams with benign and
 // attack behaviours, substituting for the raw captures behind the
-// CIC-IDS-2017/2018 datasets (see DESIGN.md).
+// CIC-IDS-2017/2018 datasets (see the Datasets section of README.md).
 //
 // Each session generator writes the packets of one logical conversation
 // with behaviour-specific size, rate, flag and duration signatures taken
