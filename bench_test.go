@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -493,21 +494,51 @@ func BenchmarkPredictEncoded(b *testing.B) {
 	b.Run("cached", benchPredictEncodedCached)
 }
 
+// benchStream caches the BENCH_1 engine shape (512-dim model over
+// CICIDS2017 flows, 400-session live capture) so the sharded sweep does
+// not retrain the model per measurement. The model is only ever read by
+// the engine benchmarks, so sharing it across engines is safe.
+var benchStream struct {
+	once sync.Once
+	cfg  pipeline.Config
+	live *traffic.Stream
+	err  error
+}
+
+// benchStreamShape returns the shared engine config (zero BatchSize; copy
+// and adjust) and capture.
+func benchStreamShape(b *testing.B) (pipeline.Config, *traffic.Stream) {
+	b.Helper()
+	if err := ensureBenchStream(); err != nil {
+		b.Fatal(err)
+	}
+	return benchStream.cfg, benchStream.live
+}
+
+func ensureBenchStream() error {
+	benchStream.once.Do(func() {
+		train := datasets.CICIDS2017(1500, 21)
+		trainSet, _, norm := train.NormalizedSplit(0.9, 3)
+		m, err := core.Train(
+			NewRBFEncoder(trainSet.NumFeatures(), 512, 0, 5),
+			trainSet.X, trainSet.Y,
+			core.Options{Classes: trainSet.NumClasses(), Epochs: 4, Seed: 7},
+		)
+		if err != nil {
+			benchStream.err = err
+			return
+		}
+		benchStream.cfg = pipeline.Config{Model: m, Normalizer: norm, ClassNames: train.ClassNames}
+		benchStream.live = traffic.Generate(traffic.Config{Sessions: 400, Seed: 99})
+	})
+	return benchStream.err
+}
+
 // benchEngine streams a fixed capture through an engine per iteration and
 // reports flows/sec.
 func benchEngine(b *testing.B, batch int) {
-	train := datasets.CICIDS2017(1500, 21)
-	trainSet, _, norm := train.NormalizedSplit(0.9, 3)
-	m, err := core.Train(
-		NewRBFEncoder(trainSet.NumFeatures(), 512, 0, 5),
-		trainSet.X, trainSet.Y,
-		core.Options{Classes: trainSet.NumClasses(), Epochs: 4, Seed: 7},
-	)
-	if err != nil {
-		b.Fatal(err)
-	}
-	live := traffic.Generate(traffic.Config{Sessions: 400, Seed: 99})
-	cfg := pipeline.Config{Model: m, Normalizer: norm, ClassNames: train.ClassNames, BatchSize: batch}
+	cfg, live := benchStreamShape(b)
+	cfg.BatchSize = batch
 	flows := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -530,6 +561,63 @@ func benchEngine(b *testing.B, batch int) {
 func BenchmarkEngineClassify(b *testing.B) {
 	b.Run("sync", func(b *testing.B) { benchEngine(b, 0) })
 	b.Run("batch64", func(b *testing.B) { benchEngine(b, 64) })
+}
+
+// ------------------------------------------------ Sharded engine (PR 2)
+
+// benchConcurrentEngine streams the capture through the single-worker
+// Concurrent wrapper — the pre-sharding scaling ceiling.
+func benchConcurrentEngine(b *testing.B, batch int) {
+	cfg, live := benchStreamShape(b)
+	cfg.BatchSize = batch
+	flows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := pipeline.NewConcurrent(cfg, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := range live.Packets {
+			c.Feed(live.Packets[p])
+		}
+		c.Close()
+		flows = c.Stats().Flows
+	}
+	b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// benchShardedEngine streams the capture through the flow-sharded
+// multi-core engine with the given shard count.
+func benchShardedEngine(b *testing.B, shards, batch int) {
+	cfg, live := benchStreamShape(b)
+	cfg.BatchSize = batch
+	cfg.Shards = shards
+	flows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, err := pipeline.NewSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := range live.Packets {
+			sh.Feed(live.Packets[p])
+		}
+		sh.Close()
+		flows = sh.Stats().Flows
+	}
+	b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkShardedClassify measures streaming throughput of the
+// flow-sharded engine at 1/2/4/8 shards against the single-worker
+// Concurrent baseline, all with 64-flow micro-batches (the BENCH_1 fast
+// configuration). Scaling tracks available cores: on a 1-CPU host every
+// variant is ingress-bound and roughly flat.
+func BenchmarkShardedClassify(b *testing.B) {
+	b.Run("concurrent", func(b *testing.B) { benchConcurrentEngine(b, 64) })
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) { benchShardedEngine(b, n, 64) })
+	}
 }
 
 // TestWriteBenchJSON runs the kernel benchmarks and snapshots the results
@@ -580,4 +668,102 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("BENCH_1.json:\n%s", buf)
+}
+
+// TestWriteBench2JSON measures the flow-sharded multi-core engine against
+// the single-worker Concurrent baseline on the BENCH_1 engine shape and
+// snapshots the sweep to BENCH_2.json, after asserting that every
+// configuration produces bit-identical aggregate verdict counts. Shard
+// scaling tracks GOMAXPROCS, so the snapshot records it. Gated like
+// TestWriteBenchJSON:
+//
+//	CYBERHD_BENCH_JSON=1 go test -run TestWriteBench2JSON -v .
+func TestWriteBench2JSON(t *testing.T) {
+	if os.Getenv("CYBERHD_BENCH_JSON") == "" {
+		t.Skip("set CYBERHD_BENCH_JSON=1 to write BENCH_2.json")
+	}
+	if err := ensureBenchStream(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, live := benchStream.cfg, benchStream.live
+	cfg.BatchSize = 64
+
+	// Verdict bit-identity: single engine vs Concurrent vs every shard
+	// count must agree on the aggregate per-class counts exactly.
+	single, err := pipeline.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		single.Feed(&live.Packets[i])
+	}
+	single.Flush()
+	want := single.Stats()
+
+	check := func(name string, got pipeline.Stats) {
+		t.Helper()
+		if got.Flows != want.Flows || got.Alerts != want.Alerts {
+			t.Fatalf("%s: flows/alerts %d/%d != single %d/%d", name, got.Flows, got.Alerts, want.Flows, want.Alerts)
+		}
+		for c := range want.ByClass {
+			if got.ByClass[c] != want.ByClass[c] {
+				t.Fatalf("%s: ByClass[%d] = %d != %d", name, c, got.ByClass[c], want.ByClass[c])
+			}
+		}
+	}
+	conc, err := pipeline.NewConcurrent(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		conc.Feed(live.Packets[i])
+	}
+	conc.Close()
+	check("concurrent", conc.Stats())
+
+	shardCounts := []int{1, 2, 4, 8}
+	for _, n := range shardCounts {
+		scfg := cfg
+		scfg.Shards = n
+		sh, err := pipeline.NewSharded(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live.Packets {
+			sh.Feed(live.Packets[i])
+		}
+		sh.Close()
+		check(fmt.Sprintf("shards%d", n), sh.Stats())
+	}
+
+	// Throughput sweep.
+	concRes := testing.Benchmark(func(b *testing.B) { benchConcurrentEngine(b, 64) })
+	concFPS := concRes.Extra["flows/s"]
+	shardFPS := map[string]float64{}
+	speedup := map[string]float64{}
+	for _, n := range shardCounts {
+		n := n
+		r := testing.Benchmark(func(b *testing.B) { benchShardedEngine(b, n, 64) })
+		key := fmt.Sprintf("%d", n)
+		shardFPS[key] = r.Extra["flows/s"]
+		speedup[key] = r.Extra["flows/s"] / concFPS
+	}
+
+	report := map[string]any{
+		"shape":                    "BENCH_1 engine shape: CICIDS2017(1500)-trained 512-dim model, 400-session live capture, micro-batch 64",
+		"gomaxprocs":               runtime.GOMAXPROCS(0),
+		"concurrent_flows_per_sec": concFPS,
+		"sharded_flows_per_sec":    shardFPS,
+		"speedup_vs_concurrent":    speedup,
+		"verdicts_bit_identical":   true, // asserted above and by pipeline.TestShardedMatchesSingleEngine
+		"note":                     "shard scaling tracks GOMAXPROCS: with one core per shard the sweep approaches linear; on a single-CPU host all variants time-slice one core and measure ~1x",
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_2.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_2.json:\n%s", buf)
 }

@@ -8,6 +8,7 @@
 //	cyberhd quantize -dataset nsl-kdd -n 8000              # accuracy across bitwidths
 //	cyberhd faults -dataset nsl-kdd -rate 0.1 -bits 1      # robustness spot check
 //	cyberhd detect -train 3000 -sessions 1000              # end-to-end live detection
+//	cyberhd detect -shards 0 -batch 64                     # flow-sharded, one engine per core
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"cyberhd/internal/faults"
 	"cyberhd/internal/metrics"
 	"cyberhd/internal/netflow"
+	"cyberhd/internal/pipeline"
 	"cyberhd/internal/quantize"
 	"cyberhd/internal/rng"
 	"cyberhd/internal/traffic"
@@ -216,6 +218,8 @@ func cmdDetect(args []string) error {
 	liveSessions := fs.Int("sessions", 1000, "live capture size (sessions)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic")
+	shards := fs.Int("shards", 1, "engine shards (1 = single in-process engine; 0 = one per core)")
+	batch := fs.Int("batch", 0, "micro-batch size per engine (0 = classify per flow)")
 	verbose := fs.Bool("v", false, "print every alert")
 	fs.Parse(args)
 
@@ -239,14 +243,39 @@ func cmdDetect(args []string) error {
 	// Score verdicts against ground truth where available.
 	conf := metrics.NewConfusion(det.ClassNames)
 	scored := 0
-	eng, err := det.NewEngine(0, func(a cyberhd.Alert) {
+	onAlert := func(a cyberhd.Alert) {
 		if *verbose {
 			fmt.Printf("ALERT t=%9.2fs %-12s %4d pkts %9.0f bytes\n",
 				a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes())
 		}
-	})
-	if err != nil {
-		return err
+	}
+	cfg := cyberhd.EngineConfig{
+		Model:      det.Model,
+		Normalizer: det.Normalizer,
+		ClassNames: det.ClassNames,
+		BatchSize:  *batch,
+		OnAlert:    onAlert,
+		Shards:     *shards,
+	}
+	// feed/finish abstract over the single-threaded engine and the
+	// flow-sharded multi-core one so the replay loop below is shared.
+	var feed func(p *cyberhd.Packet)
+	var finish func() pipeline.Stats
+	if *shards == 1 {
+		eng, err := cyberhd.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		feed = eng.Feed
+		finish = func() pipeline.Stats { eng.Flush(); return eng.Stats() }
+	} else {
+		seng, err := cyberhd.NewShardedEngine(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sharded engine: %d flow-hash shards\n", seng.NumShards())
+		feed = func(p *cyberhd.Packet) { seng.Feed(*p) }
+		finish = func() pipeline.Stats { seng.Close(); return seng.Stats() }
 	}
 	// A parallel label-aware assembler scores verdicts against ground truth.
 	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
@@ -262,13 +291,11 @@ func cmdDetect(args []string) error {
 		scored++
 	})
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		feed(&live.Packets[i])
 		a.Add(&live.Packets[i])
 	}
-	eng.Flush()
+	st := finish()
 	a.Flush()
-
-	st := eng.Stats()
 	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
 	if scored > 0 {
 		fmt.Printf("scored %d labeled flows: accuracy %.4f, detection rate %.4f, false alarms %.4f\n",

@@ -55,8 +55,17 @@ type (
 	Width = bitpack.Width
 	// Engine is the streaming NIDS pipeline; Alert its verdict type.
 	Engine = pipeline.Engine
+	// ShardedEngine is the multi-core streaming pipeline: flow-hash
+	// partitioned per-core engines with merged stats (see NewShardedEngine).
+	ShardedEngine = pipeline.Sharded
 	// EngineConfig assembles an Engine.
 	EngineConfig = pipeline.Config
+	// COWModel is the concurrency-safe copy-on-write model wrapper:
+	// classification reads immutable atomic snapshots while online
+	// feedback publishes new versions (see NewCOWModel).
+	COWModel = core.COWModel
+	// ModelSnapshot is one immutable published model version.
+	ModelSnapshot = core.Snapshot
 	// Alert is one non-benign detection.
 	Alert = pipeline.Alert
 	// Packet is a raw packet record for the streaming engine.
@@ -195,6 +204,25 @@ func (d *Detector) Classify(features []float32) string {
 // configuration — the entry point for non-default setups such as
 // micro-batch classification (EngineConfig.BatchSize).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return pipeline.New(cfg) }
+
+// NewShardedEngine builds the multi-core streaming engine: packets are
+// hash-partitioned by flow 5-tuple across cfg.Shards per-core engines
+// (0 selects one per CPU), with lossless bounded ingress, serialized
+// alert delivery, a deterministic Close/drain, and merged Stats that are
+// bit-identical to a single Engine over the same capture. For live
+// analyst feedback during classification, set cfg.Model to a COWModel
+// (NewCOWModel) so updates publish atomically against concurrent reads.
+func NewShardedEngine(cfg EngineConfig) (*ShardedEngine, error) {
+	return pipeline.NewSharded(cfg)
+}
+
+// NewCOWModel wraps a trained model in copy-on-write snapshots, making
+// concurrent classification and online feedback race-free: readers load
+// an immutable (encoder, class-matrix) snapshot through one atomic
+// pointer read; Update builds the next version and swaps it in. The
+// wrapped model becomes the wrapper's private working copy — stop using
+// it directly.
+func NewCOWModel(m *Model) *COWModel { return core.NewCOWModel(m) }
 
 // NewEngine builds a streaming detection engine around the detector.
 // benignClass is the class index that does not alert (0 in all four

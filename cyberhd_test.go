@@ -85,6 +85,56 @@ func TestDetectorEngineOnLiveTraffic(t *testing.T) {
 	}
 }
 
+// TestShardedEngineFacade runs the multi-core engine with a COW-wrapped
+// model from the public API and checks its merged stats against a single
+// engine over the same capture.
+func TestShardedEngineFacade(t *testing.T) {
+	ds := CICIDS2017(1200, 3)
+	det, err := TrainDetector(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+
+	single, err := det.NewEngine(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		single.Feed(&live.Packets[i])
+	}
+	single.Flush()
+	want := single.Stats()
+
+	cow := NewCOWModel(det.Model)
+	sh, err := NewShardedEngine(EngineConfig{
+		Model:      cow,
+		Normalizer: det.Normalizer,
+		ClassNames: det.ClassNames,
+		Shards:     4,
+		BatchSize:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		sh.Feed(live.Packets[i])
+	}
+	sh.Close()
+	got := sh.Stats()
+	if got.Flows != want.Flows || got.Alerts != want.Alerts {
+		t.Fatalf("sharded %+v != single %+v", got, want)
+	}
+	for c := range want.ByClass {
+		if got.ByClass[c] != want.ByClass[c] {
+			t.Fatalf("class %d: sharded %d != single %d", c, got.ByClass[c], want.ByClass[c])
+		}
+	}
+	if cow.Version() != 1 {
+		t.Fatalf("classification-only run published %d versions, want 1", cow.Version())
+	}
+}
+
 func TestDatasetByNameFacade(t *testing.T) {
 	for _, name := range []string{"nsl-kdd", "unsw-nb15"} {
 		d, ok := DatasetByName(name, 200, 1)

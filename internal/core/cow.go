@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+)
+
+// Snapshot is one published, immutable version of a model: an encoder and
+// a class hypervector matrix that are never mutated after publication,
+// plus a Scorer caching the class-row norms of exactly this version.
+// Readers that load a Snapshot see a consistent (encoder, class) pair even
+// while the writer regenerates dimensions for the next version.
+type Snapshot struct {
+	// Enc encodes queries for this version. Regeneration publishes a new
+	// encoder rather than mutating this one.
+	Enc encoder.Encoder
+	// Class is this version's class hypervector matrix (k×D).
+	Class *hdc.Matrix
+	// Version counts publications, starting at 1.
+	Version uint64
+
+	scorer *Scorer
+}
+
+// Scorer returns the snapshot's norm cache (built once at publication).
+func (s *Snapshot) Scorer() *Scorer { return s.scorer }
+
+// PredictEncoded classifies an already-encoded hypervector against this
+// snapshot's class matrix.
+func (s *Snapshot) PredictEncoded(h []float32) int { return s.scorer.PredictEncoded(h) }
+
+// COWModel makes one Model safe for concurrent classification and online
+// learning by copy-on-write snapshots: readers classify against an
+// immutable Snapshot loaded through one atomic pointer read, while the
+// single writer applies Feedback/OnlineTrainer updates to a private
+// working copy and publishes the result as the next snapshot with an
+// atomic swap. Class norms are cached per snapshot via the existing
+// Scorer, so a publication costs one k×D matrix clone plus one norm pass.
+//
+// Readers (any number of goroutines, no locking):
+//
+//	Predict, PredictBatchInto, PredictEncoded, Snapshot
+//
+// Writers (serialized internally by a mutex):
+//
+//	Update, Apply, ApplyEncoderMutation
+//
+// COWModel implements pipeline.Classifier, pipeline.BatchClassifier and
+// pipeline.Updater, so it drops into any engine — including
+// pipeline.Sharded, where per-core workers classify while analyst
+// feedback retrains the model live.
+type COWModel struct {
+	mu      sync.Mutex // serializes writers; guards writer + version
+	writer  *Model     // private working copy; Class mutated in place
+	version uint64
+	snap    atomic.Pointer[Snapshot]
+
+	predictScratch sync.Pool // *cowScratch
+	encScratch     sync.Pool // *hdc.Matrix
+}
+
+type cowScratch struct {
+	h []float32
+}
+
+// NewCOWModel wraps a trained model. The model becomes the wrapper's
+// private working copy: callers must stop using m directly (mutating it
+// would race with published snapshots that share its encoder).
+func NewCOWModel(m *Model) *COWModel {
+	c := &COWModel{writer: m}
+	c.mu.Lock()
+	c.publishLocked()
+	c.mu.Unlock()
+	return c
+}
+
+// publishLocked clones the writer's class matrix, pairs it with the
+// writer's current encoder and a fresh norm cache, and swaps the package
+// in as the live snapshot. Callers hold c.mu.
+func (c *COWModel) publishLocked() {
+	class := c.writer.Class.Clone()
+	c.version++
+	c.snap.Store(&Snapshot{
+		Enc:     c.writer.Enc,
+		Class:   class,
+		Version: c.version,
+		scorer:  NewScorer(class),
+	})
+}
+
+// Snapshot returns the live snapshot. Successive calls may return
+// different versions; every returned snapshot stays valid and immutable
+// forever.
+func (c *COWModel) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Version returns the live snapshot's version.
+func (c *COWModel) Version() uint64 { return c.snap.Load().Version }
+
+// Dim returns the physical hyperspace dimensionality (constant across
+// versions: regeneration redraws dimensions, it never resizes).
+func (c *COWModel) Dim() int { return c.snap.Load().Class.Cols }
+
+// NumClasses returns the number of classes.
+func (c *COWModel) NumClasses() int { return c.snap.Load().Class.Rows }
+
+// scratch fetches (or builds) a pooled encode buffer sized for the model.
+func (c *COWModel) scratch(dim int) *cowScratch {
+	sc, _ := c.predictScratch.Get().(*cowScratch)
+	if sc == nil || len(sc.h) != dim {
+		sc = &cowScratch{h: make([]float32, dim)}
+	}
+	return sc
+}
+
+// Predict encodes x with the live snapshot's encoder and classifies it
+// against the same snapshot's class matrix — one atomic load, so the
+// (encoder, class) pair is always consistent. Safe for any number of
+// concurrent callers; allocation-free in steady state.
+func (c *COWModel) Predict(x []float32) int {
+	snap := c.snap.Load()
+	sc := c.scratch(snap.Class.Cols)
+	snap.Enc.Encode(x, sc.h)
+	pred := snap.scorer.PredictEncoded(sc.h)
+	c.predictScratch.Put(sc)
+	return pred
+}
+
+// PredictEncoded classifies an already-encoded hypervector against the
+// live snapshot.
+func (c *COWModel) PredictEncoded(h []float32) int {
+	return c.snap.Load().PredictEncoded(h)
+}
+
+// PredictBatchInto classifies every row of x into out (len x.Rows)
+// through the blocked encode/score kernels, against one consistent
+// snapshot. Safe for concurrent callers.
+func (c *COWModel) PredictBatchInto(x *hdc.Matrix, out []int) {
+	snap := c.snap.Load()
+	enc, _ := c.encScratch.Get().(*hdc.Matrix)
+	if enc == nil {
+		enc = new(hdc.Matrix)
+	}
+	enc.Resize(x.Rows, snap.Class.Cols)
+	encoder.EncodeBatchInto(snap.Enc, x, enc)
+	snap.scorer.PredictBatchEncoded(enc, out)
+	c.encScratch.Put(enc)
+}
+
+// Update applies one online feedback sample (the paper's similarity-
+// weighted rule) to the working copy and, when the model changed,
+// publishes the next snapshot. Readers never observe a partial update.
+func (c *COWModel) Update(x []float32, label int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := c.writer.Update(x, label)
+	if changed {
+		c.publishLocked()
+	}
+	return changed
+}
+
+// Apply runs fn on the private working copy under the writer lock and
+// publishes a new snapshot when fn reports a change. Use it to route
+// OnlineTrainer.Observe (or any class-matrix mutation) through the
+// copy-on-write discipline:
+//
+//	cow.Apply(func(m *core.Model) bool { ch, _ := trainer.Observe(x, y); return ch })
+//
+// fn must not mutate the encoder — regeneration goes through
+// ApplyEncoderMutation, which clones it first.
+func (c *COWModel) Apply(fn func(m *Model) bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := fn(c.writer)
+	if changed {
+		c.publishLocked()
+	}
+	return changed
+}
+
+// ApplyEncoderMutation runs fn on the working copy like Apply, but first
+// replaces the working encoder with a deep clone so fn (typically
+// OnlineTrainer.Regenerate, which redraws base vectors) mutates a private
+// copy: published snapshots keep encoding with the version they were
+// paired with. A new snapshot is always published. Returns an error when
+// the encoder does not support cloning (encoder.Cloneable).
+func (c *COWModel) ApplyEncoderMutation(fn func(m *Model)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clone, ok := encoder.Clone(c.writer.Enc)
+	if !ok {
+		return fmt.Errorf("core: encoder %T does not support cloning (encoder.Cloneable)", c.writer.Enc)
+	}
+	c.writer.Enc = clone
+	fn(c.writer)
+	c.publishLocked()
+	return nil
+}

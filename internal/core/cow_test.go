@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cyberhd/internal/encoder"
+	"cyberhd/internal/hdc"
+)
+
+// cowModel trains two bit-identical small models (training is fully
+// seeded) so tests can mutate one through a COWModel and compare against
+// the other mutated directly.
+func cowModel(t *testing.T) (*Model, *Model, *hdc.Matrix, []int) {
+	t.Helper()
+	x, y := blobs(300, 8, 3, 0.6, 50, 51)
+	train := func() *Model {
+		m, err := Train(encoder.NewRBF(8, 64, 0, 9), x, y, Options{Classes: 3, Epochs: 3, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return train(), train(), x, y
+}
+
+func TestCOWPredictMatchesModel(t *testing.T) {
+	m, ref, x, _ := cowModel(t)
+	cow := NewCOWModel(m)
+	if cow.Dim() != ref.Dim() || cow.NumClasses() != ref.NumClasses() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", cow.NumClasses(), cow.Dim(), ref.NumClasses(), ref.Dim())
+	}
+	out := make([]int, x.Rows)
+	cow.PredictBatchInto(x, out)
+	for i := 0; i < x.Rows; i++ {
+		want := ref.Predict(x.Row(i))
+		if got := cow.Predict(x.Row(i)); got != want {
+			t.Fatalf("sample %d: cow.Predict %d != model %d", i, got, want)
+		}
+		if out[i] != want {
+			t.Fatalf("sample %d: cow batch %d != model %d", i, out[i], want)
+		}
+	}
+}
+
+func TestCOWUpdateMatchesModelAndPublishes(t *testing.T) {
+	m, ref, x, y := cowModel(t)
+	cow := NewCOWModel(m)
+	v0 := cow.Version()
+	changed := 0
+	for i := 0; i < x.Rows; i++ {
+		wrong := (y[i] + 1) % 3
+		cw := cow.Update(x.Row(i), wrong)
+		rw := ref.Update(x.Row(i), wrong)
+		if cw != rw {
+			t.Fatalf("sample %d: cow changed=%v, model changed=%v", i, cw, rw)
+		}
+		if cw {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no update changed the model; test is vacuous")
+	}
+	if got := cow.Version(); got != v0+uint64(changed) {
+		t.Fatalf("version %d after %d changes from %d", got, changed, v0)
+	}
+	for i := 0; i < x.Rows; i++ {
+		if got, want := cow.Predict(x.Row(i)), ref.Predict(x.Row(i)); got != want {
+			t.Fatalf("post-update sample %d: cow %d != model %d", i, got, want)
+		}
+	}
+}
+
+func TestCOWSnapshotImmutable(t *testing.T) {
+	m, _, x, y := cowModel(t)
+	cow := NewCOWModel(m)
+	old := cow.Snapshot()
+	oldClass := old.Class.Clone()
+	oldEnc := make([]float32, old.Class.Cols)
+	old.Enc.Encode(x.Row(0), oldEnc)
+
+	for i := 0; i < x.Rows; i++ {
+		cow.Update(x.Row(i), (y[i]+1)%3)
+	}
+	if err := cow.ApplyEncoderMutation(func(w *Model) {
+		dims := []int{0, 1, 2, 3}
+		w.Class.ZeroColumns(dims)
+		w.Enc.Regenerate(dims)
+		w.Scorer().Refresh()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !old.Class.Equal(oldClass) {
+		t.Fatal("published snapshot's class matrix was mutated by later updates")
+	}
+	h := make([]float32, old.Class.Cols)
+	old.Enc.Encode(x.Row(0), h)
+	for d := range h {
+		if h[d] != oldEnc[d] {
+			t.Fatalf("published snapshot's encoder changed at dim %d after regeneration", d)
+		}
+	}
+	if cur := cow.Snapshot(); cur.Version <= old.Version {
+		t.Fatalf("live version %d did not advance past %d", cur.Version, old.Version)
+	}
+}
+
+func TestCOWApplyRoutesOnlineTrainer(t *testing.T) {
+	x, y := blobs(200, 8, 3, 0.6, 60, 61)
+	tr, err := NewOnlineTrainer(encoder.NewRBF(8, 64, 0, 9), Options{Classes: 3, RegenCycles: 1, RegenRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cow := NewCOWModel(tr.Model())
+	for i := 0; i < x.Rows; i++ {
+		i := i
+		cow.Apply(func(*Model) bool {
+			ch, err := tr.Observe(x.Row(i), y[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ch
+		})
+	}
+	if tr.Updates() == 0 {
+		t.Fatal("online trainer never updated")
+	}
+	if err := cow.ApplyEncoderMutation(func(*Model) {
+		if tr.Regenerate() == 0 {
+			t.Fatal("regeneration dropped no dimensions")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < x.Rows; i++ {
+		if cow.Predict(x.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(x.Rows); frac < 0.8 {
+		t.Fatalf("online-trained COW accuracy %.2f, want >= 0.8", frac)
+	}
+}
+
+// uncloneableEncoder satisfies Encoder but not encoder.Cloneable.
+type uncloneableEncoder struct{ encoder.Encoder }
+
+func TestCOWEncoderMutationRequiresCloneable(t *testing.T) {
+	m, _, _, _ := cowModel(t)
+	m.Enc = uncloneableEncoder{m.Enc}
+	cow := NewCOWModel(m)
+	if err := cow.ApplyEncoderMutation(func(*Model) {}); err == nil {
+		t.Fatal("ApplyEncoderMutation accepted a non-cloneable encoder")
+	}
+}
+
+// TestCOWConcurrentReadersAndWriter is the race-detector workout for the
+// copy-on-write swap: reader goroutines classify continuously while the
+// writer interleaves feedback updates and an encoder regeneration.
+// Correctness here is "no race, no torn state": every prediction must be
+// a valid class index and every loaded snapshot internally consistent.
+func TestCOWConcurrentReadersAndWriter(t *testing.T) {
+	m, _, x, y := cowModel(t)
+	cow := NewCOWModel(m)
+	const readers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]int, x.Rows)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					if p := cow.Predict(x.Row(i % x.Rows)); p < 0 || p >= 3 {
+						errs <- "prediction out of range"
+						return
+					}
+				} else {
+					cow.PredictBatchInto(x, out)
+				}
+				snap := cow.Snapshot()
+				if snap.Class.Rows != 3 || snap.Class.Cols != snap.Enc.Dim() {
+					errs <- "inconsistent snapshot shape"
+					return
+				}
+			}
+		}(r)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < x.Rows; i++ {
+			cow.Update(x.Row(i), (y[i]+1+pass)%3)
+		}
+		if err := cow.ApplyEncoderMutation(func(w *Model) {
+			dims := []int{pass, pass + 8, pass + 16}
+			w.Class.ZeroColumns(dims)
+			w.Enc.Regenerate(dims)
+			w.Scorer().Refresh()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

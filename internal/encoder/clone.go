@@ -1,0 +1,51 @@
+package encoder
+
+import "cyberhd/internal/rng"
+
+// Cloneable is implemented by encoders that can produce an independent
+// deep copy: same base parameters, same future random stream, no shared
+// mutable state. Copy-on-write model wrappers (core.COWModel) rely on it
+// to regenerate dimensions in a private copy while readers keep encoding
+// against the published one.
+type Cloneable interface {
+	Encoder
+	// CloneEncoder returns a deep copy. Mutating either copy (Regenerate)
+	// never affects the other, and both draw identical future random
+	// streams from the point of the clone.
+	CloneEncoder() Encoder
+}
+
+// Clone deep-copies e when it supports cloning. The bool reports support.
+func Clone(e Encoder) (Encoder, bool) {
+	c, ok := e.(Cloneable)
+	if !ok {
+		return nil, false
+	}
+	return c.CloneEncoder(), true
+}
+
+// CloneEncoder returns an independent deep copy of the RBF encoder.
+func (e *RBF) CloneEncoder() Encoder {
+	return &RBF{
+		base:  e.base.Clone(),
+		bias:  append([]float32(nil), e.bias...),
+		gamma: e.gamma,
+		r:     rng.FromState(e.r.State()),
+	}
+}
+
+// CloneEncoder returns an independent deep copy of the Linear encoder.
+func (e *Linear) CloneEncoder() Encoder {
+	return &Linear{base: e.base.Clone(), r: rng.FromState(e.r.State())}
+}
+
+// CloneEncoder returns an independent deep copy of the IDLevel encoder.
+func (e *IDLevel) CloneEncoder() Encoder {
+	return &IDLevel{
+		inDim: e.inDim, dim: e.dim, levels: e.levels,
+		lo: e.lo, hi: e.hi,
+		id:    e.id.Clone(),
+		level: e.level.Clone(),
+		r:     rng.FromState(e.r.State()),
+	}
+}

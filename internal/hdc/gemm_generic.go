@@ -1,9 +1,11 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package hdc
 
-// Non-amd64 builds always take the portable kernels, which are
-// bit-identical to the AVX paths by construction.
+// Non-amd64 builds — and amd64 builds with the noasm tag, which CI uses
+// to exercise the portable fallbacks on vector hardware — always take the
+// portable kernels, which are bit-identical to the AVX paths by
+// construction.
 const (
 	useAVX  = false
 	useAVX2 = false

@@ -1,5 +1,7 @@
 package netflow
 
+import "sort"
+
 // Assembler groups a time-ordered packet stream into bidirectional flows
 // and evicts them when complete. Eviction happens on TCP termination
 // (both FINs or a RST), on idle timeout, or on Flush.
@@ -53,20 +55,42 @@ func (a *Assembler) Add(p *Packet) {
 	}
 }
 
-// EvictIdle evicts every flow idle at time now. Call periodically when the
-// stream has gaps (e.g. live capture).
+// EvictIdle evicts every flow idle at time now, oldest first. Call
+// periodically when the stream has gaps (e.g. live capture).
 func (a *Assembler) EvictIdle(now float64) {
-	for key, f := range a.flows {
+	var victims []*Flow
+	for _, f := range a.flows {
 		if now-f.LastTime > a.IdleTimeout {
-			a.evict(key, f)
+			victims = append(victims, f)
 		}
 	}
+	a.evictOrdered(victims)
 }
 
-// Flush evicts all in-progress flows (end of capture).
+// Flush evicts all in-progress flows (end of capture), oldest first.
 func (a *Assembler) Flush() {
-	for key, f := range a.flows {
-		a.evict(key, f)
+	victims := make([]*Flow, 0, len(a.flows))
+	for _, f := range a.flows {
+		victims = append(victims, f)
+	}
+	a.evictOrdered(victims)
+}
+
+// evictOrdered delivers a batch of evictions in a deterministic order —
+// by first-packet time, 5-tuple tie-break — instead of Go's randomized
+// map order. Downstream consumers depend on this: derived datasets get
+// reproducible row order, end-of-capture alert order is stable across
+// runs, and a sharded engine's drain is deterministic per shard.
+func (a *Assembler) evictOrdered(victims []*Flow) {
+	sort.Slice(victims, func(i, j int) bool {
+		x, y := victims[i], victims[j]
+		if x.FirstTime != y.FirstTime {
+			return x.FirstTime < y.FirstTime
+		}
+		return x.Key.less(y.Key)
+	})
+	for _, f := range victims {
+		a.evict(f.Key, f)
 	}
 }
 

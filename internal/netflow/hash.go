@@ -1,0 +1,54 @@
+package netflow
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Hash returns a 64-bit FNV-1a hash of the canonical bidirectional
+// 5-tuple. Both directions of a flow map to the same FlowKey (see KeyOf)
+// and therefore to the same hash, which is what makes the hash usable as
+// a shard key: every packet of a flow lands on the same shard, so flow
+// assembly never splits across workers.
+func (k FlowKey) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	mix(uint64(k.IPA), 4)
+	mix(uint64(k.IPB), 4)
+	mix(uint64(k.PortA), 2)
+	mix(uint64(k.PortB), 2)
+	mix(uint64(k.Proto), 1)
+	return h
+}
+
+// less is a total order over flow keys, used as the deterministic
+// tie-break when ordering evictions with identical first-packet times.
+func (k FlowKey) less(o FlowKey) bool {
+	switch {
+	case k.IPA != o.IPA:
+		return k.IPA < o.IPA
+	case k.IPB != o.IPB:
+		return k.IPB < o.IPB
+	case k.PortA != o.PortA:
+		return k.PortA < o.PortA
+	case k.PortB != o.PortB:
+		return k.PortB < o.PortB
+	default:
+		return k.Proto < o.Proto
+	}
+}
+
+// ShardKey returns the flow-partitioning hash of p's bidirectional flow:
+// Hash of the canonical FlowKey, identical for both directions of the
+// same flow.
+func (p *Packet) ShardKey() uint64 {
+	k, _ := KeyOf(p)
+	return k.Hash()
+}

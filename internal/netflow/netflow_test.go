@@ -288,3 +288,96 @@ func TestActivityPeriods(t *testing.T) {
 		t.Fatalf("idle: N=%d sum=%v", f.Idle.N, f.Idle.Sum)
 	}
 }
+
+// TestFlowKeyHashDirectionInvariant: both directions of a flow must hash
+// identically — the property that lets the hash partition packets across
+// engine shards without splitting flows.
+func TestFlowKeyHashDirectionInvariant(t *testing.T) {
+	fwd := &Packet{SrcIP: IPv4(10, 0, 0, 1), DstIP: IPv4(10, 0, 0, 2), SrcPort: 44123, DstPort: 443, Proto: TCP}
+	bwd := &Packet{SrcIP: IPv4(10, 0, 0, 2), DstIP: IPv4(10, 0, 0, 1), SrcPort: 443, DstPort: 44123, Proto: TCP}
+	if fwd.ShardKey() != bwd.ShardKey() {
+		t.Fatalf("direction changed shard key: %x != %x", fwd.ShardKey(), bwd.ShardKey())
+	}
+	kf, _ := KeyOf(fwd)
+	if kf.Hash() != fwd.ShardKey() {
+		t.Fatal("ShardKey does not equal the canonical FlowKey hash")
+	}
+}
+
+// TestFlowKeyHashDistribution: distinct 5-tuples must spread reasonably
+// evenly over a shard count (no degenerate clumping from the mixing).
+func TestFlowKeyHashDistribution(t *testing.T) {
+	const shards = 8
+	var counts [shards]int
+	n := 0
+	for ip := byte(1); ip <= 50; ip++ {
+		for port := uint16(1000); port < 1040; port++ {
+			p := &Packet{SrcIP: IPv4(192, 168, 0, ip), DstIP: IPv4(10, 0, 0, 1), SrcPort: port, DstPort: 443, Proto: TCP}
+			counts[p.ShardKey()%shards]++
+			n++
+		}
+	}
+	want := n / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("shard %d got %d of %d flows (expected ~%d)", s, c, n, want)
+		}
+	}
+}
+
+// TestFlowKeyHashDistinguishesTuples: tuple fields must all contribute.
+func TestFlowKeyHashDistinguishesTuples(t *testing.T) {
+	base := FlowKey{IPA: 1, IPB: 2, PortA: 3, PortB: 4, Proto: TCP}
+	seen := map[uint64]string{base.Hash(): "base"}
+	for name, k := range map[string]FlowKey{
+		"ipa":   {IPA: 9, IPB: 2, PortA: 3, PortB: 4, Proto: TCP},
+		"ipb":   {IPA: 1, IPB: 9, PortA: 3, PortB: 4, Proto: TCP},
+		"porta": {IPA: 1, IPB: 2, PortA: 9, PortB: 4, Proto: TCP},
+		"portb": {IPA: 1, IPB: 2, PortA: 3, PortB: 9, Proto: TCP},
+		"proto": {IPA: 1, IPB: 2, PortA: 3, PortB: 4, Proto: UDP},
+	} {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %s and %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// TestFlushOrderDeterministic: batch evictions (Flush, EvictIdle) must
+// deliver flows in a stable order — by first-packet time — not Go's
+// randomized map order. Derived datasets and end-of-capture alert
+// sequences depend on it.
+func TestFlushOrderDeterministic(t *testing.T) {
+	run := func() []FlowKey {
+		var order []FlowKey
+		a := NewAssembler(120, 1, func(f *Flow) { order = append(order, f.Key) })
+		for i := 0; i < 40; i++ {
+			a.Add(&Packet{
+				Time:  float64(i) * 0.01,
+				SrcIP: IPv4(10, 0, 0, byte(i+1)), DstIP: IPv4(10, 0, 1, 1),
+				SrcPort: uint16(2000 + i), DstPort: 443,
+				Proto: TCP, Length: 100, HeaderLen: 40,
+			})
+		}
+		a.Flush()
+		return order
+	}
+	want := run()
+	if len(want) != 40 {
+		t.Fatalf("flushed %d flows, want 40", len(want))
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i-1] == want[i] {
+			t.Fatal("duplicate eviction")
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: eviction %d = %+v, want %+v (order not deterministic)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

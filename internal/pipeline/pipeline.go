@@ -74,6 +74,12 @@ type Config struct {
 	BatchSize int
 	// OnAlert, when set, receives every alert synchronously.
 	OnAlert func(Alert)
+	// Shards is the worker count of NewSharded (0 selects
+	// runtime.GOMAXPROCS). Ignored by New and NewConcurrent.
+	Shards int
+	// ShardBuffer is the bounded ingress buffer per shard for NewSharded
+	// (<= 0 selects 1024). Ignored by New and NewConcurrent.
+	ShardBuffer int
 }
 
 // Engine is the synchronous detection pipeline.

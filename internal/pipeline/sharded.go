@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"cyberhd/internal/netflow"
+)
+
+// Sharded is the multi-core streaming engine: packets are hash-partitioned
+// by their bidirectional flow 5-tuple (netflow.Packet.ShardKey) across N
+// per-core Engine shards, each with its own assembler, micro-batch buffer
+// and pooled scratch, running on its own goroutine behind a bounded
+// lossless ingress channel.
+//
+// Because every packet of a flow hashes to the same shard, flow assembly,
+// feature extraction and classification are per-flow identical to a single
+// Engine: the merged Stats of a capture are bit-identical to feeding the
+// same capture through one Engine (tested by TestShardedMatchesSingleEngine).
+//
+// Delivery guarantees:
+//
+//   - Ingress is lossless: Feed blocks when a shard's buffer is full, it
+//     never drops. Packets of one flow are processed in feed order.
+//   - OnAlert callbacks are serialized (never concurrent) and arrive in
+//     verdict order within a shard — i.e. per flow key. Interleaving
+//     across shards is unspecified. Callbacks must not call Feed, Tick or
+//     Close (they run on shard goroutines); Feedback is allowed.
+//   - Close is deterministic: it stops ingress, drains every shard's
+//     channel, flushes all in-progress flows and pending micro-batches,
+//     and waits for every worker to exit. After Close, Stats is exact:
+//     Packets/Flows/Alerts/ByClass are the sums over shards.
+//
+// Online learning: Feedback is safe to call concurrently with live
+// classification only when the model's Update is — wrap the model in
+// core.NewCOWModel so shards classify against immutable snapshots while
+// feedback publishes new versions with an atomic swap. With a plain
+// *core.Model, call Feedback only while no traffic is being fed.
+type Sharded struct {
+	cfg    Config
+	shards []shardWorker
+	once   sync.Once
+
+	// alertMu serializes OnAlert across shard goroutines.
+	alertMu sync.Mutex
+
+	// fbMu guards the feedback scratch buffer and counter.
+	fbMu  sync.Mutex
+	fbBuf []float32
+	fbOK  int
+}
+
+// shardWorker is one per-core engine behind its bounded ingress channel.
+type shardWorker struct {
+	eng  *Engine
+	in   chan shardMsg
+	done chan struct{}
+}
+
+// shardMsg is one ingress item: a packet, or a tick broadcast at capture
+// time tick (tick messages keep their order relative to packets within a
+// shard, so eviction stays deterministic per shard).
+type shardMsg struct {
+	pkt    netflow.Packet
+	tick   float64
+	isTick bool
+}
+
+// NewSharded builds and starts a sharded engine: cfg.Shards workers
+// (0 selects runtime.GOMAXPROCS), each a full Engine over a copy of cfg
+// with the alert callback wrapped for serialized delivery.
+func NewSharded(cfg Config) (*Sharded, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	buffer := cfg.ShardBuffer
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &Sharded{cfg: cfg}
+	shardCfg := cfg
+	if cfg.OnAlert != nil {
+		user := cfg.OnAlert
+		shardCfg.OnAlert = func(a Alert) {
+			s.alertMu.Lock()
+			defer s.alertMu.Unlock()
+			user(a)
+		}
+	}
+	// Build every engine before starting any worker, so a config error
+	// never leaves already-started goroutines behind.
+	s.shards = make([]shardWorker, n)
+	for i := range s.shards {
+		eng, err := New(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = shardWorker{
+			eng:  eng,
+			in:   make(chan shardMsg, buffer),
+			done: make(chan struct{}),
+		}
+	}
+	for i := range s.shards {
+		w := &s.shards[i]
+		go func() {
+			defer close(w.done)
+			for m := range w.in {
+				if m.isTick {
+					w.eng.Tick(m.tick)
+				} else {
+					w.eng.Feed(&m.pkt)
+				}
+			}
+			w.eng.Flush()
+		}()
+	}
+	return s, nil
+}
+
+// NumShards returns the worker count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Feed routes one packet to its flow's shard. It blocks when that shard's
+// ingress buffer is full (lossless by design: an IDS that silently drops
+// packets hides exactly the traffic an attacker would send). Packets must
+// arrive in time order per flow. Must not be called after Close.
+func (s *Sharded) Feed(p netflow.Packet) {
+	i := int(p.ShardKey() % uint64(len(s.shards)))
+	s.shards[i].in <- shardMsg{pkt: p}
+}
+
+// Tick broadcasts an idle-eviction tick at capture time now to every
+// shard. Each shard processes the tick in order with its packets, so
+// eviction and micro-batch draining stay deterministic per shard.
+func (s *Sharded) Tick(now float64) {
+	for i := range s.shards {
+		s.shards[i].in <- shardMsg{tick: now, isTick: true}
+	}
+}
+
+// Close stops ingestion, drains every shard, flushes all in-progress
+// flows and pending micro-batches, and waits for every worker to exit.
+// Idempotent; every call waits for the full drain.
+func (s *Sharded) Close() {
+	s.once.Do(func() {
+		for i := range s.shards {
+			close(s.shards[i].in)
+		}
+	})
+	for i := range s.shards {
+		<-s.shards[i].done
+	}
+}
+
+// Stats returns the merged engine counters: field-wise sums over all
+// shards (ByClass element-wise). Only call after Close: the shard
+// goroutines own their engines until then.
+func (s *Sharded) Stats() Stats {
+	merged := Stats{ByClass: make([]int, len(s.cfg.ClassNames))}
+	for i := range s.shards {
+		st := s.shards[i].eng.Stats()
+		merged.Packets += st.Packets
+		merged.Flows += st.Flows
+		merged.Alerts += st.Alerts
+		merged.FeedbackOK += st.FeedbackOK
+		for c, v := range st.ByClass {
+			merged.ByClass[c] += v
+		}
+	}
+	s.fbMu.Lock()
+	merged.FeedbackOK += s.fbOK
+	s.fbMu.Unlock()
+	return merged
+}
+
+// Feedback applies one labeled flow to the shared model when it supports
+// online updates, returning true if the model changed. Safe to call from
+// any goroutine — including OnAlert callbacks — but concurrent safety
+// against live classification is the model's contract: use core.COWModel
+// for lock-free snapshot reads with atomically swapped updates.
+func (s *Sharded) Feedback(f *netflow.Flow, label int) bool {
+	u, ok := s.cfg.Model.(Updater)
+	if !ok {
+		return false
+	}
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	s.fbBuf = f.AppendFeatures(s.fbBuf[:0])
+	s.cfg.Normalizer.ApplyVec(s.fbBuf)
+	changed := u.Update(s.fbBuf, label)
+	if !changed {
+		s.fbOK++
+	}
+	return changed
+}
