@@ -620,6 +620,170 @@ func BenchmarkShardedClassify(b *testing.B) {
 	}
 }
 
+// -------------------------------------------- Quantized serving (PR 3)
+
+// benchQuantWidths is the Table I bitwidth sweep served live.
+var benchQuantWidths = []bitpack.Width{bitpack.W1, bitpack.W2, bitpack.W4, bitpack.W8, bitpack.W16, bitpack.W32}
+
+// benchQuantEngine streams the shared capture through an engine lowered to
+// packed w-bit inference.
+func benchQuantEngine(b *testing.B, w bitpack.Width, batch int) {
+	cfg, live := benchStreamShape(b)
+	cfg.BatchSize = batch
+	cfg.Quantize = w
+	flows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := pipeline.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := range live.Packets {
+			eng.Feed(&live.Packets[p])
+		}
+		eng.Flush()
+		flows = eng.Stats().Flows
+	}
+	b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkQuantizedClassify measures end-to-end streaming throughput of
+// packed integer inference at every supported bitwidth against the
+// float32 engine, all with 64-flow micro-batches on identical traffic —
+// the serving form of the paper's Table I sweep.
+func BenchmarkQuantizedClassify(b *testing.B) {
+	b.Run("float32", func(b *testing.B) { benchEngine(b, 64) })
+	for _, w := range benchQuantWidths {
+		w := w
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { benchQuantEngine(b, w, 64) })
+	}
+}
+
+// benchLabeledFlows featurizes the shared capture's ground-truth-labeled
+// flows into a normalized matrix for accuracy measurement.
+func benchLabeledFlows(t testing.TB) (*hdc.Matrix, []int) {
+	t.Helper()
+	if err := ensureBenchStream(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, live := benchStream.cfg, benchStream.live
+	var feats [][]float32
+	var labels []int
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
+		label, ok := live.Labels[f.Key]
+		if !ok {
+			return
+		}
+		row := f.AppendFeatures(make([]float32, 0, netflow.NumFeatures))
+		cfg.Normalizer.ApplyVec(row)
+		feats = append(feats, row)
+		labels = append(labels, int(label))
+	})
+	for i := range live.Packets {
+		a.Add(&live.Packets[i])
+	}
+	a.Flush()
+	x := hdc.NewMatrix(len(feats), netflow.NumFeatures)
+	for i, row := range feats {
+		copy(x.Row(i), row)
+	}
+	return x, labels
+}
+
+// TestWriteBench3JSON measures the quantized streaming sweep — W1 through
+// W32 against the float32 engine on identical traffic — and snapshots
+// throughput, verdict accuracy against ground truth, and class-memory
+// footprint to BENCH_3.json, after asserting that at every width the
+// micro-batch path is bit-identical to per-flow classification. Gated
+// like TestWriteBenchJSON:
+//
+//	CYBERHD_BENCH_JSON=1 go test -run TestWriteBench3JSON -v .
+func TestWriteBench3JSON(t *testing.T) {
+	if os.Getenv("CYBERHD_BENCH_JSON") == "" {
+		t.Skip("set CYBERHD_BENCH_JSON=1 to write BENCH_3.json")
+	}
+	if err := ensureBenchStream(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, live := benchStream.cfg, benchStream.live
+	m := cfg.Model.(*core.Model)
+	x, y := benchLabeledFlows(t)
+	accuracy := func(preds []int) float64 {
+		correct := 0
+		for i, p := range preds {
+			if p == y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(y))
+	}
+
+	// Per-width batch-vs-sync verdict bit-identity over the full capture.
+	runStats := func(c pipeline.Config) pipeline.Stats {
+		eng, err := pipeline.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live.Packets {
+			eng.Feed(&live.Packets[i])
+		}
+		eng.Flush()
+		return eng.Stats()
+	}
+	for _, w := range benchQuantWidths {
+		qc := cfg
+		qc.Quantize = w
+		sync := runStats(qc)
+		qc.BatchSize = 64
+		batch := runStats(qc)
+		if sync.Flows != batch.Flows || sync.Alerts != batch.Alerts {
+			t.Fatalf("w=%d: batch flows/alerts %d/%d != sync %d/%d", w, batch.Flows, batch.Alerts, sync.Flows, sync.Alerts)
+		}
+		for c := range sync.ByClass {
+			if sync.ByClass[c] != batch.ByClass[c] {
+				t.Fatalf("w=%d: ByClass[%d] batch %d != sync %d", w, c, batch.ByClass[c], sync.ByClass[c])
+			}
+		}
+	}
+
+	floatRes := testing.Benchmark(func(b *testing.B) { benchEngine(b, 64) })
+	report := map[string]any{
+		"shape":      "BENCH_1 engine shape: CICIDS2017(1500)-trained 512-dim model, 400-session live capture, micro-batch 64",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"float32": map[string]any{
+			"flows_per_sec":     floatRes.Extra["flows/s"],
+			"accuracy":          accuracy(m.PredictBatch(x)),
+			"class_memory_bits": m.NumClasses() * m.Dim() * 32,
+		},
+		"batch_vs_sync_bit_identical": true, // asserted above at every width
+		"note":                        "flows/s includes packet ingest + flow assembly + featurization; classification is the quantized stage. Accuracy is scored on the capture's ground-truth-labeled flows.",
+	}
+	widths := map[string]any{}
+	for _, w := range benchQuantWidths {
+		w := w
+		q, err := quantize.FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) { benchQuantEngine(b, w, 64) })
+		widths[fmt.Sprintf("%d", w)] = map[string]any{
+			"flows_per_sec":     r.Extra["flows/s"],
+			"speedup_vs_float":  r.Extra["flows/s"] / floatRes.Extra["flows/s"],
+			"accuracy":          accuracy(q.PredictBatch(x)),
+			"class_memory_bits": q.MemoryBits(),
+		}
+	}
+	report["widths"] = widths
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_3.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_3.json:\n%s", buf)
+}
+
 // TestWriteBenchJSON runs the kernel benchmarks and snapshots the results
 // to BENCH_1.json. Gated behind an env var so plain `go test ./...` stays
 // fast; run with:

@@ -9,6 +9,7 @@
 //	cyberhd faults -dataset nsl-kdd -rate 0.1 -bits 1      # robustness spot check
 //	cyberhd detect -train 3000 -sessions 1000              # end-to-end live detection
 //	cyberhd detect -shards 0 -batch 64                     # flow-sharded, one engine per core
+//	cyberhd detect -width 4 -batch 64                      # packed 4-bit integer inference
 package main
 
 import (
@@ -220,8 +221,12 @@ func cmdDetect(args []string) error {
 	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic")
 	shards := fs.Int("shards", 1, "engine shards (1 = single in-process engine; 0 = one per core)")
 	batch := fs.Int("batch", 0, "micro-batch size per engine (0 = classify per flow)")
+	width := fs.Int("width", 0, "quantized inference bitwidth: 1, 2, 4, 8, 16 or 32 (0 = float32)")
 	verbose := fs.Bool("v", false, "print every alert")
 	fs.Parse(args)
+	if *width != 0 && !bitpack.Width(*width).Valid() {
+		return fmt.Errorf("detect: -width %d not one of %v", *width, bitpack.Widths)
+	}
 
 	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(*trainSessions, *seed), cyberhd.DefaultConfig())
 	if err != nil {
@@ -254,8 +259,12 @@ func cmdDetect(args []string) error {
 		Normalizer: det.Normalizer,
 		ClassNames: det.ClassNames,
 		BatchSize:  *batch,
+		Quantize:   cyberhd.Width(*width),
 		OnAlert:    onAlert,
 		Shards:     *shards,
+	}
+	if *width != 0 {
+		fmt.Printf("quantized inference: %d-bit packed class memory\n", *width)
 	}
 	// feed/finish abstract over the single-threaded engine and the
 	// flow-sharded multi-core one so the replay loop below is shared.
@@ -277,7 +286,17 @@ func cmdDetect(args []string) error {
 		feed = func(p *cyberhd.Packet) { seng.Feed(*p) }
 		finish = func() pipeline.Stats { seng.Close(); return seng.Stats() }
 	}
-	// A parallel label-aware assembler scores verdicts against ground truth.
+	// A parallel label-aware assembler scores verdicts against ground
+	// truth, using the same inference the engine serves: the packed
+	// quantized model when -width is set, float32 otherwise.
+	scoreModel := pipeline.Classifier(det.Model)
+	if *width != 0 {
+		q, err := quantize.FromCore(det.Model, bitpack.Width(*width))
+		if err != nil {
+			return err
+		}
+		scoreModel = q
+	}
 	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
 		label, ok := live.Labels[f.Key]
 		if !ok {
@@ -287,7 +306,7 @@ func cmdDetect(args []string) error {
 		x := make([]float32, len(feat))
 		copy(x, feat)
 		det.Normalizer.ApplyVec(x)
-		conf.Add(int(label), det.Model.Predict(x))
+		conf.Add(int(label), scoreModel.Predict(x))
 		scored++
 	})
 	for i := range live.Packets {

@@ -1,0 +1,150 @@
+// Command doclint enforces the repository's godoc contract: every
+// exported identifier in the audited packages — top-level functions,
+// methods, types, consts, vars, struct fields and interface methods —
+// must carry a doc comment. CI runs it after gofmt and vet; it exits
+// non-zero listing every undocumented identifier.
+//
+//	go run ./cmd/doclint              # audit the default package set
+//	go run ./cmd/doclint ./internal/hdc ./internal/core
+//
+// The default set is the serving surface: the cyberhd facade plus
+// internal/bitpack, internal/quantize and internal/pipeline.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// defaultDirs is the audited package set when no arguments are given.
+var defaultDirs = []string{".", "./internal/bitpack", "./internal/quantize", "./internal/pipeline"}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers without doc comments:\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, " ", p)
+		}
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file directly in dir and returns one
+// problem line per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "func", funcName(d))
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// funcName renders a function or method name, including the receiver type.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	recv := d.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// lintGenDecl checks type, const and var declarations. A doc comment on
+// the grouped declaration covers its specs; an undocumented spec inside an
+// undocumented group is reported per exported name. Struct fields and
+// interface methods of exported types are audited too (doc comment above
+// or line comment beside either counts).
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && ts.Doc == nil {
+				report(ts.Pos(), "type", ts.Name.Name)
+			}
+			switch t := ts.Type.(type) {
+			case *ast.StructType:
+				for _, f := range t.Fields.List {
+					for _, n := range f.Names {
+						if n.IsExported() && f.Doc == nil && f.Comment == nil {
+							report(f.Pos(), "field", ts.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				for _, m := range t.Methods.List {
+					for _, n := range m.Names {
+						if n.IsExported() && m.Doc == nil && m.Comment == nil {
+							report(m.Pos(), "interface method", ts.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+		}
+	case token.CONST, token.VAR:
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if d.Doc != nil || vs.Doc != nil || vs.Comment != nil {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -51,6 +51,12 @@ type (
 	Encoder = encoder.Encoder
 	// QuantizedModel is a reduced-precision model for edge deployment.
 	QuantizedModel = quantize.Model
+	// QuantizedLive pairs a COWModel with re-quantized packed snapshots:
+	// online feedback retrains the float working copy and every published
+	// version carries a freshly packed class memory. Engines build one
+	// automatically when EngineConfig.Quantize is set and the model is a
+	// COWModel.
+	QuantizedLive = quantize.Live
 	// Width is a quantization bitwidth (1, 2, 4, 8, 16 or 32).
 	Width = bitpack.Width
 	// Engine is the streaming NIDS pipeline; Alert its verdict type.
@@ -60,6 +66,8 @@ type (
 	ShardedEngine = pipeline.Sharded
 	// EngineConfig assembles an Engine.
 	EngineConfig = pipeline.Config
+	// EngineStats is the engine counter snapshot returned by Stats.
+	EngineStats = pipeline.Stats
 	// COWModel is the concurrency-safe copy-on-write model wrapper:
 	// classification reads immutable atomic snapshots while online
 	// feedback publishes new versions (see NewCOWModel).
@@ -131,10 +139,11 @@ type Config struct {
 	Dim int
 	// Epochs is adaptive passes per regeneration cycle.
 	Epochs int
-	// RegenCycles and RegenRate control dynamic regeneration; zero cycles
+	// RegenCycles is the number of drop/regenerate rounds; zero cycles
 	// trains a static BaselineHD model.
 	RegenCycles int
-	RegenRate   float64
+	// RegenRate is R, the fraction of dimensions dropped per cycle.
+	RegenRate float64
 	// LearningRate is η for the adaptive update.
 	LearningRate float64
 	// Gamma is the RBF encoder bandwidth (<= 0: default).
@@ -157,8 +166,12 @@ func DefaultConfig() Config {
 // Detector bundles everything needed to classify live flows: the model,
 // the normalizer fitted on its training split, and class names.
 type Detector struct {
-	Model      *Model
+	// Model is the trained HDC classifier.
+	Model *Model
+	// Normalizer carries the feature statistics of the training split;
+	// every query must be normalized with it before prediction.
 	Normalizer *Normalizer
+	// ClassNames label the model's class indices.
 	ClassNames []string
 	// TestAccuracy is the held-out accuracy measured during TrainDetector.
 	TestAccuracy float64
@@ -202,7 +215,9 @@ func (d *Detector) Classify(features []float32) string {
 
 // NewEngine builds a streaming detection engine from an explicit
 // configuration — the entry point for non-default setups such as
-// micro-batch classification (EngineConfig.BatchSize).
+// micro-batch classification (EngineConfig.BatchSize) or packed
+// reduced-precision serving (EngineConfig.Quantize, the paper's Table I
+// bitwidths as a live inference mode).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return pipeline.New(cfg) }
 
 // NewShardedEngine builds the multi-core streaming engine: packets are
@@ -211,7 +226,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return pipeline.New(cfg) }
 // alert delivery, a deterministic Close/drain, and merged Stats that are
 // bit-identical to a single Engine over the same capture. For live
 // analyst feedback during classification, set cfg.Model to a COWModel
-// (NewCOWModel) so updates publish atomically against concurrent reads.
+// (NewCOWModel) so updates publish atomically against concurrent reads;
+// combined with cfg.Quantize, every feedback publication also re-packs
+// the quantized class memory the shards score against.
 func NewShardedEngine(cfg EngineConfig) (*ShardedEngine, error) {
 	return pipeline.NewSharded(cfg)
 }

@@ -58,9 +58,14 @@ func (w Width) MaxQ() int64 {
 // little-endian-within-word into Words. Scale converts stored integers back
 // to the float domain: x ≈ Scale · q.
 type Vector struct {
-	Dim   int
+	// Dim is the element count.
+	Dim int
+	// Width is the element bitwidth.
 	Width Width
+	// Scale converts stored integers to the float domain: x ≈ Scale · q.
 	Scale float32
+	// Words holds the packed payload, Dim×Width bits little-endian within
+	// each uint64; slack bits past the payload are never read by kernels.
 	Words []uint64
 }
 
@@ -176,8 +181,19 @@ func (v *Vector) Dequantize(dst []float32) {
 // quantization: scale = max|x| / MaxQ(w), q = round(x/scale) clamped to the
 // symmetric range. For w == 1 the result is the sign pattern with scale
 // max|x| (scale only matters for dequantization magnitude, not similarity).
+// QuantizeInto is the storage-reusing form for pooled query packing.
 func Quantize(x []float32, w Width) *Vector {
 	v := NewVector(len(x), w)
+	quantizeBody(x, w, v)
+	return v
+}
+
+// quantizeBody packs x into the zeroed, correctly-sized vector v — the
+// shared implementation of Quantize and QuantizeInto. Packing is
+// word-at-a-time (elements accumulate into a register before one store),
+// producing exactly the values a per-element Set loop would: the packed
+// query path runs once per streamed flow, so this is a hot kernel.
+func quantizeBody(x []float32, w Width, v *Vector) {
 	var maxAbs float64
 	for _, f := range x {
 		a := math.Abs(float64(f))
@@ -189,56 +205,71 @@ func Quantize(x []float32, w Width) *Vector {
 		v.Scale = 1
 		if w == W1 {
 			// all-zero input: store an arbitrary but fixed pattern (+1s)
-			for i := range x {
-				v.Set(i, 1)
-			}
+			packSigns(x, v, true)
 		}
-		return v
+		return
+	}
+	if w == W1 {
+		v.Scale = float32(maxAbs)
+		packSigns(x, v, false)
+		return
 	}
 	maxQ := w.MaxQ()
 	scale := maxAbs / float64(maxQ)
 	v.Scale = float32(scale)
-	if w == W1 {
-		v.Scale = float32(maxAbs)
-		for i, f := range x {
-			if f >= 0 {
-				v.Set(i, 1)
-			} else {
-				v.Set(i, -1)
+	per := 64 / int(w)
+	mask := uint64(1)<<uint(w) - 1
+	i := 0
+	for k := range v.Words {
+		slots := per
+		if n := len(x) - i; n < per {
+			slots = n
+		}
+		var word uint64
+		for slot := 0; slot < slots; slot++ {
+			q := int64(math.RoundToEven(float64(x[i]) / scale))
+			if q > maxQ {
+				q = maxQ
+			} else if q < -maxQ {
+				q = -maxQ
 			}
+			word |= (uint64(q) & mask) << uint(slot*int(w))
+			i++
 		}
-		return v
+		v.Words[k] = word
 	}
-	for i, f := range x {
-		q := int64(math.RoundToEven(float64(f) / scale))
-		if q > maxQ {
-			q = maxQ
+}
+
+// packSigns packs the W1 sign pattern of x (or all +1s when allPos) 64
+// elements per word.
+func packSigns(x []float32, v *Vector, allPos bool) {
+	i := 0
+	for k := range v.Words {
+		slots := 64
+		if n := len(x) - i; n < 64 {
+			slots = n
 		}
-		if q < -maxQ {
-			q = -maxQ
+		var word uint64
+		for slot := 0; slot < slots; slot++ {
+			if allPos || x[i] >= 0 {
+				word |= 1 << uint(slot)
+			}
+			i++
 		}
-		v.Set(i, q)
+		v.Words[k] = word
 	}
-	return v
 }
 
 // Dot returns the inner product Σ a_i·b_i of two packed vectors of
 // identical dim and width, in the integer domain (the float-domain product
-// is Dot·a.Scale·b.Scale). The 1-bit path is exact XNOR/popcount; wider
-// widths accumulate in float64, since 32-bit element products summed over
-// thousands of dimensions overflow int64.
+// is Dot·a.Scale·b.Scale). It runs on the word-level kernels of kernels.go:
+// XNOR/popcount at W1, exact widened-integer accumulation at W2–W16, and
+// element-order float64 accumulation at W32 (32-bit element products
+// summed over thousands of dimensions overflow int64). MatVecInto is the
+// blocked batch form scoring a query against a whole class memory.
 func Dot(a, b *Vector) float64 {
-	if a.Dim != b.Dim || a.Width != b.Width {
-		panic("bitpack: Dot shape mismatch")
-	}
-	if a.Width == W1 {
-		return float64(dot1(a, b))
-	}
-	var s float64
-	for i := 0; i < a.Dim; i++ {
-		s += float64(a.Get(i)) * float64(b.Get(i))
-	}
-	return s
+	compatible(a, b)
+	return dotKernel(a, b)
 }
 
 // dot1 computes the bipolar dot product via popcount: matches − mismatches
@@ -261,29 +292,18 @@ func dot1(a, b *Vector) int64 {
 // domain (scales cancel). Zero vectors yield 0.
 func Cosine(a, b *Vector) float64 {
 	dot := Dot(a, b)
-	na := math.Sqrt(normSq(a))
-	nb := math.Sqrt(normSq(b))
+	na := math.Sqrt(NormSq(a))
+	nb := math.Sqrt(NormSq(b))
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / (na * nb)
 }
 
-func normSq(v *Vector) float64 {
-	if v.Width == W1 {
-		return float64(v.Dim)
-	}
-	var s float64
-	for i := 0; i < v.Dim; i++ {
-		q := float64(v.Get(i))
-		s += q * q
-	}
-	return s
-}
-
 // Matrix is a set of equally-shaped quantized vectors, one per row — the
 // quantized class-hypervector memory.
 type Matrix struct {
+	// Rows holds one packed vector per class.
 	Rows []*Vector
 }
 
@@ -334,7 +354,9 @@ func (m *Matrix) FlipBit(k int) {
 }
 
 // Classify returns the row index with the highest integer-domain cosine
-// similarity to q, which must match the rows' dim and width.
+// similarity to q, which must match the rows' dim and width. It recomputes
+// every row norm per call — the stateless reference; hot paths classify
+// through a Scorer, which caches norms and scores via the blocked panels.
 func (m *Matrix) Classify(q *Vector) int {
 	best, bestSim := 0, math.Inf(-1)
 	for i, r := range m.Rows {

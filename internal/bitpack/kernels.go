@@ -1,0 +1,347 @@
+package bitpack
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// This file is the quantized analog of internal/hdc's kernel layer: blocked
+// batch kernels over packed words, so the streaming engine can score flows
+// in the integer domain at GEMM rates instead of element-at-a-time Get
+// loops. Three word-level paths cover the supported widths:
+//
+//   - W1: XNOR + bits.OnesCount64 over whole words (matches − mismatches
+//     = Dim − 2·hamming), 64 elements per instruction pair.
+//   - W2–W16: widened-integer dot — elements are shift/sign-extended out
+//     of each word and accumulated in int64. Every partial sum is an exact
+//     integer below 2^53, so this is bit-identical to the float64
+//     element-order accumulation of the scalar reference.
+//   - W32: two int32 lanes per word, accumulated in float64 in element
+//     order (32-bit element products overflow int64 over long vectors, and
+//     float64 rounding makes the summation order part of the contract).
+//
+// # Determinism
+//
+// Every kernel accumulates each output strictly from its own row in
+// element order — MatVecInto's 4-row panels share query word loads but
+// never reorder a row's summation — so results are bit-identical to the
+// per-sample Dot regardless of panel grouping or caller-side batching.
+// The package tests pin kernel ≡ scalar Get-loop equality at every width,
+// including partial last words.
+
+// compatible panics unless a and b share dim and width.
+func compatible(a, b *Vector) {
+	if a.Dim != b.Dim || a.Width != b.Width {
+		panic("bitpack: vector shape mismatch")
+	}
+}
+
+// dotInt is the W2–W16 kernel: per word, each element is extracted with a
+// shift pair (left-align, arithmetic right to sign-extend) and the products
+// accumulate in int64 — exact, and therefore equal to the scalar float64
+// reference for any realistic dimensionality (|sum| < 2^53).
+func dotInt(aw, bw []uint64, dim, w int) int64 {
+	per := 64 / w
+	// Constant shift amounts: the low element is sign-extended with a
+	// fixed (shl, sar) pair and the word shifted down by w per slot —
+	// x86 variable-amount shifts serialize through CL, so keeping every
+	// shift count loop-invariant is worth ~2x on this kernel.
+	inv := uint(64 - w)
+	uw := uint(w)
+	var s int64
+	k := 0
+	for rem := dim; rem > 0; k++ {
+		slots := per
+		if rem < per {
+			slots = rem
+		}
+		a, b := aw[k], bw[k]
+		for slot := 0; slot < slots; slot++ {
+			av := int64(a<<inv) >> inv
+			bv := int64(b<<inv) >> inv
+			s += av * bv
+			a >>= uw
+			b >>= uw
+		}
+		rem -= slots
+	}
+	return s
+}
+
+// dot32 is the W32 kernel: two int32 lanes per word, float64 accumulation
+// in element order — the same arithmetic as the scalar reference, with the
+// per-element shift/mask bookkeeping hoisted out.
+func dot32(aw, bw []uint64, dim int) float64 {
+	var s float64
+	full := dim / 2
+	for k := 0; k < full; k++ {
+		a, b := aw[k], bw[k]
+		s += float64(int32(uint32(a))) * float64(int32(uint32(b)))
+		s += float64(int32(uint32(a>>32))) * float64(int32(uint32(b>>32)))
+	}
+	if dim&1 == 1 {
+		s += float64(int32(uint32(aw[full]))) * float64(int32(uint32(bw[full])))
+	}
+	return s
+}
+
+// dotKernel dispatches Dot to the word-level kernel for the vector width.
+func dotKernel(a, b *Vector) float64 {
+	switch a.Width {
+	case W1:
+		return float64(dot1(a, b))
+	case W32:
+		return dot32(a.Words, b.Words, a.Dim)
+	default:
+		return float64(dotInt(a.Words, b.Words, a.Dim, int(a.Width)))
+	}
+}
+
+// MatVecInto scores one packed query against every row of m:
+// out[r] = Dot(m.Rows[r], q), blocked into 4-row panels that share the
+// query's word loads. Each row's sum keeps its own element order, so the
+// results are bit-identical to per-row Dot calls (pinned by tests).
+func MatVecInto(m *Matrix, q *Vector, out []float64) {
+	if len(out) != len(m.Rows) {
+		panic("bitpack: MatVecInto output length mismatch")
+	}
+	rows := m.Rows
+	r := 0
+	for ; r+4 <= len(rows); r += 4 {
+		compatible(rows[r], q)
+		compatible(rows[r+1], q)
+		compatible(rows[r+2], q)
+		compatible(rows[r+3], q)
+		dotPanel4(rows[r], rows[r+1], rows[r+2], rows[r+3], q, out[r:r+4:r+4])
+	}
+	for ; r < len(rows); r++ {
+		compatible(rows[r], q)
+		out[r] = dotKernel(rows[r], q)
+	}
+}
+
+// dotPanel4 computes four packed dots against one query in a single pass
+// over the query words.
+func dotPanel4(r0, r1, r2, r3, q *Vector, out []float64) {
+	switch q.Width {
+	case W1:
+		dotPanel1x4(r0, r1, r2, r3, q, out)
+	case W32:
+		dotPanel32x4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, out)
+	default:
+		dotPanelIntx4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, int(q.Width), out)
+	}
+}
+
+// dotPanel1x4 is the 4-row bipolar panel: one XNOR/popcount per row per
+// query word, with the partial last word masked exactly like dot1.
+func dotPanel1x4(r0, r1, r2, r3, q *Vector, out []float64) {
+	var h0, h1, h2, h3 int
+	full := q.Dim / 64
+	qw := q.Words
+	for k := 0; k < full; k++ {
+		w := qw[k]
+		h0 += bits.OnesCount64(r0.Words[k] ^ w)
+		h1 += bits.OnesCount64(r1.Words[k] ^ w)
+		h2 += bits.OnesCount64(r2.Words[k] ^ w)
+		h3 += bits.OnesCount64(r3.Words[k] ^ w)
+	}
+	if rem := q.Dim % 64; rem != 0 {
+		mask := uint64(1)<<uint(rem) - 1
+		w := qw[full]
+		h0 += bits.OnesCount64((r0.Words[full] ^ w) & mask)
+		h1 += bits.OnesCount64((r1.Words[full] ^ w) & mask)
+		h2 += bits.OnesCount64((r2.Words[full] ^ w) & mask)
+		h3 += bits.OnesCount64((r3.Words[full] ^ w) & mask)
+	}
+	d := q.Dim
+	out[0] = float64(d - 2*h0)
+	out[1] = float64(d - 2*h1)
+	out[2] = float64(d - 2*h2)
+	out[3] = float64(d - 2*h3)
+}
+
+// dotPanelIntx4 is the 4-row widened-integer panel for W2–W16: the query
+// element is extracted once per slot and multiplied into four independent
+// int64 accumulators, with the same constant-shift extraction as dotInt.
+func dotPanelIntx4(a0, a1, a2, a3, qw []uint64, dim, w int, out []float64) {
+	per := 64 / w
+	inv := uint(64 - w)
+	uw := uint(w)
+	var s0, s1, s2, s3 int64
+	k := 0
+	for rem := dim; rem > 0; k++ {
+		slots := per
+		if rem < per {
+			slots = rem
+		}
+		q := qw[k]
+		w0, w1, w2, w3 := a0[k], a1[k], a2[k], a3[k]
+		for slot := 0; slot < slots; slot++ {
+			qv := int64(q<<inv) >> inv
+			s0 += qv * (int64(w0<<inv) >> inv)
+			s1 += qv * (int64(w1<<inv) >> inv)
+			s2 += qv * (int64(w2<<inv) >> inv)
+			s3 += qv * (int64(w3<<inv) >> inv)
+			q >>= uw
+			w0 >>= uw
+			w1 >>= uw
+			w2 >>= uw
+			w3 >>= uw
+		}
+		rem -= slots
+	}
+	out[0] = float64(s0)
+	out[1] = float64(s1)
+	out[2] = float64(s2)
+	out[3] = float64(s3)
+}
+
+// dotPanel32x4 is the 4-row W32 panel: float64 accumulation per row in
+// element order, sharing the query's int32 lane extraction.
+func dotPanel32x4(a0, a1, a2, a3, qw []uint64, dim int, out []float64) {
+	var s0, s1, s2, s3 float64
+	full := dim / 2
+	for k := 0; k < full; k++ {
+		q := qw[k]
+		qlo := float64(int32(uint32(q)))
+		qhi := float64(int32(uint32(q >> 32)))
+		w0, w1, w2, w3 := a0[k], a1[k], a2[k], a3[k]
+		s0 += qlo * float64(int32(uint32(w0)))
+		s0 += qhi * float64(int32(uint32(w0>>32)))
+		s1 += qlo * float64(int32(uint32(w1)))
+		s1 += qhi * float64(int32(uint32(w1>>32)))
+		s2 += qlo * float64(int32(uint32(w2)))
+		s2 += qhi * float64(int32(uint32(w2>>32)))
+		s3 += qlo * float64(int32(uint32(w3)))
+		s3 += qhi * float64(int32(uint32(w3>>32)))
+	}
+	if dim&1 == 1 {
+		qlo := float64(int32(uint32(qw[full])))
+		s0 += qlo * float64(int32(uint32(a0[full])))
+		s1 += qlo * float64(int32(uint32(a1[full])))
+		s2 += qlo * float64(int32(uint32(a2[full])))
+		s3 += qlo * float64(int32(uint32(a3[full])))
+	}
+	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+}
+
+// NormSq returns the integer-domain squared Euclidean norm of v through
+// the word-level kernels: Dim for W1 (every element is ±1), exact int64
+// sums of squares for W2–W16, and element-order float64 accumulation for
+// W32 — the same values the scalar Get-loop produces.
+func NormSq(v *Vector) float64 {
+	switch v.Width {
+	case W1:
+		return float64(v.Dim)
+	case W32:
+		return dot32(v.Words, v.Words, v.Dim)
+	default:
+		return float64(dotInt(v.Words, v.Words, v.Dim, int(v.Width)))
+	}
+}
+
+// QuantizeInto is Quantize writing into v, reusing its word storage when
+// the capacity suffices — the allocation-free form for pooled query
+// packing. v is fully overwritten (dim, width, scale, payload and slack
+// bits), so the result is bit-identical to a fresh Quantize(x, w).
+func QuantizeInto(x []float32, w Width, v *Vector) {
+	if !w.Valid() {
+		panic("bitpack: QuantizeInto invalid width")
+	}
+	n := wordsFor(len(x), w)
+	if cap(v.Words) < n {
+		v.Words = make([]uint64, n)
+	} else {
+		v.Words = v.Words[:n]
+		for i := range v.Words {
+			v.Words[i] = 0
+		}
+	}
+	v.Dim = len(x)
+	v.Width = w
+	v.Scale = 1
+	quantizeBody(x, w, v)
+}
+
+// stackClasses is the class-count ceiling for stack-allocated score
+// buffers in Scorer.Classify; beyond it scores come from a pool.
+const stackClasses = 64
+
+// Scorer is the inference-side view of a packed class matrix, mirroring
+// core.Scorer for the quantized domain: it caches the integer-domain row
+// norms that cosine scoring divides by and drives classification through
+// the blocked MatVecInto panels. The query norm is a positive constant
+// across rows, so argmax_r dot_r/‖row_r‖ picks the same class as full
+// cosine without a per-query norm pass; zero rows score 0 and an all-zero
+// query scores 0 everywhere, matching Matrix.Classify's conventions.
+//
+// The class matrix is shared, not copied: callers that mutate rows after
+// construction (fault injection, re-packing) must call Refresh, exactly
+// like core.Scorer after class-matrix mutation.
+type Scorer struct {
+	class *Matrix
+	norms []float64
+
+	// scorePool recycles per-query score buffers for class counts beyond
+	// stackClasses.
+	scorePool sync.Pool
+}
+
+// NewScorer builds a scorer over class (shared, not copied) and computes
+// the initial row norms.
+func NewScorer(class *Matrix) *Scorer {
+	s := &Scorer{class: class, norms: make([]float64, len(class.Rows))}
+	s.Refresh()
+	return s
+}
+
+// Refresh recomputes every cached row norm. Call after mutating the packed
+// class memory (bit flips, re-quantization in place).
+func (s *Scorer) Refresh() {
+	for i, r := range s.class.Rows {
+		s.norms[i] = math.Sqrt(NormSq(r))
+	}
+}
+
+// Norms exposes the cached row norms (aliased, not copied).
+func (s *Scorer) Norms() []float64 { return s.norms }
+
+// Classify returns the row index with the highest normalized similarity to
+// the packed query q, allocation-free in steady state. Ties resolve to the
+// lowest index, like Matrix.Classify.
+func (s *Scorer) Classify(q *Vector) int {
+	k := len(s.class.Rows)
+	var stack [stackClasses]float64
+	var scores []float64
+	var pooled *[]float64
+	if k <= stackClasses {
+		scores = stack[:k]
+	} else {
+		pooled, _ = s.scorePool.Get().(*[]float64)
+		if pooled == nil || cap(*pooled) < k {
+			pooled = new([]float64)
+			*pooled = make([]float64, k)
+		}
+		scores = (*pooled)[:k]
+	}
+	MatVecInto(s.class, q, scores)
+	best, bv := -1, math.Inf(-1)
+	for r, sc := range scores {
+		var v float64
+		if n := s.norms[r]; n > 0 {
+			v = sc / n
+		}
+		if v > bv {
+			best, bv = r, v
+		}
+	}
+	if pooled != nil {
+		s.scorePool.Put(pooled)
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

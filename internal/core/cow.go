@@ -23,11 +23,17 @@ type Snapshot struct {
 	// Version counts publications, starting at 1.
 	Version uint64
 
-	scorer *Scorer
+	scorer  *Scorer
+	derived any
 }
 
 // Scorer returns the snapshot's norm cache (built once at publication).
 func (s *Snapshot) Scorer() *Scorer { return s.scorer }
+
+// Derived returns the artifact the COWModel's derive hook built for this
+// version (nil when no hook is installed) — e.g. the packed quantized
+// class memory paired with exactly this snapshot. See COWModel.SetDerive.
+func (s *Snapshot) Derived() any { return s.derived }
 
 // PredictEncoded classifies an already-encoded hypervector against this
 // snapshot's class matrix.
@@ -54,9 +60,10 @@ func (s *Snapshot) PredictEncoded(h []float32) int { return s.scorer.PredictEnco
 // pipeline.Sharded, where per-core workers classify while analyst
 // feedback retrains the model live.
 type COWModel struct {
-	mu      sync.Mutex // serializes writers; guards writer + version
+	mu      sync.Mutex // serializes writers; guards writer, version, derive
 	writer  *Model     // private working copy; Class mutated in place
 	version uint64
+	derive  func(m *Model) any
 	snap    atomic.Pointer[Snapshot]
 
 	predictScratch sync.Pool // *cowScratch
@@ -79,17 +86,40 @@ func NewCOWModel(m *Model) *COWModel {
 }
 
 // publishLocked clones the writer's class matrix, pairs it with the
-// writer's current encoder and a fresh norm cache, and swaps the package
-// in as the live snapshot. Callers hold c.mu.
+// writer's current encoder, a fresh norm cache and (when a derive hook is
+// installed) a freshly derived artifact, and swaps the package in as the
+// live snapshot. Callers hold c.mu.
 func (c *COWModel) publishLocked() {
 	class := c.writer.Class.Clone()
 	c.version++
-	c.snap.Store(&Snapshot{
+	snap := &Snapshot{
 		Enc:     c.writer.Enc,
 		Class:   class,
 		Version: c.version,
 		scorer:  NewScorer(class),
-	})
+	}
+	if c.derive != nil {
+		snap.derived = c.derive(c.writer)
+	}
+	c.snap.Store(snap)
+}
+
+// SetDerive installs fn as the snapshot derivation hook and republishes so
+// the live snapshot immediately carries a derived artifact. On every
+// subsequent publication — Update, Apply, ApplyEncoderMutation — fn runs
+// on the writer's post-update state and its result rides the snapshot
+// (Snapshot.Derived), giving readers a consistent (model, artifact) pair
+// behind the same single atomic load.
+//
+// fn must treat m as read-only and must not retain references to m.Class,
+// which the writer keeps mutating after publication; build the artifact
+// from copied (e.g. packed) state. quantize.AttachLive uses this hook to
+// re-quantize the class memory on every publish.
+func (c *COWModel) SetDerive(fn func(m *Model) any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.derive = fn
+	c.publishLocked()
 }
 
 // Snapshot returns the live snapshot. Successive calls may return

@@ -157,6 +157,47 @@ func TestCOWEncoderMutationRequiresCloneable(t *testing.T) {
 	}
 }
 
+// TestCOWSetDerive checks the derive hook: it republishes immediately,
+// runs again on every subsequent publication, and its artifact rides the
+// snapshot the readers load.
+func TestCOWSetDerive(t *testing.T) {
+	m, _, x, y := cowModel(t)
+	cow := NewCOWModel(m)
+	if cow.Snapshot().Derived() != nil {
+		t.Fatal("derived artifact present before SetDerive")
+	}
+	v0 := cow.Version()
+	calls := 0
+	cow.SetDerive(func(w *Model) any {
+		calls++
+		return w.Class.Rows * 1000 // any artifact; count identifies the call
+	})
+	if cow.Version() != v0+1 {
+		t.Fatalf("SetDerive did not republish: version %d -> %d", v0, cow.Version())
+	}
+	if calls != 1 || cow.Snapshot().Derived() != 3000 {
+		t.Fatalf("derive ran %d times, artifact %v", calls, cow.Snapshot().Derived())
+	}
+	// A model-changing update must re-derive; a no-op update must not.
+	changed := false
+	for i := 0; i < x.Rows && !changed; i++ {
+		changed = cow.Update(x.Row(i), (y[i]+1)%3)
+	}
+	if !changed {
+		t.Fatal("no update changed the model")
+	}
+	if calls != 2 {
+		t.Fatalf("derive ran %d times after a publishing update, want 2", calls)
+	}
+	snap := cow.Snapshot()
+	if snap.Derived() != 3000 {
+		t.Fatalf("snapshot artifact %v", snap.Derived())
+	}
+	if snap.Version != v0+2 {
+		t.Fatalf("version %d, want %d", snap.Version, v0+2)
+	}
+}
+
 // TestCOWConcurrentReadersAndWriter is the race-detector workout for the
 // copy-on-write swap: reader goroutines classify continuously while the
 // writer interleaves feedback updates and an encoder regeneration.

@@ -13,22 +13,28 @@ import (
 	"fmt"
 	"sync"
 
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/core"
 	"cyberhd/internal/datasets"
 	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
+	"cyberhd/internal/quantize"
 )
 
-// Classifier is the model interface the engine drives. core.Model and
-// quantize.Model both satisfy it.
+// Classifier is the model interface the engine drives. core.Model,
+// core.COWModel, quantize.Model and quantize.Live all satisfy it.
 type Classifier interface {
+	// Predict returns the class index for one normalized feature vector.
 	Predict(x []float32) int
 }
 
-// BatchClassifier is the optional micro-batch interface (core.Model and
-// quantize.Model implement it): classify every row of x into out through
-// the blocked encode/score kernels. Implementations must be bit-identical
-// to per-row Predict so batch mode never changes verdicts.
+// BatchClassifier is the optional micro-batch interface (core.Model,
+// core.COWModel, quantize.Model and quantize.Live implement it): classify
+// every row of x into out through the blocked encode/score kernels.
+// Implementations must be bit-identical to per-row Predict so batch mode
+// never changes verdicts.
 type BatchClassifier interface {
+	// PredictBatchInto classifies every row of x into out (len x.Rows).
 	PredictBatchInto(x *hdc.Matrix, out []int)
 }
 
@@ -36,8 +42,9 @@ type BatchClassifier interface {
 type Alert struct {
 	// Flow is the completed flow that triggered the alert.
 	Flow *netflow.Flow
-	// Class is the predicted class index; ClassName the human name.
-	Class     int
+	// Class is the predicted class index.
+	Class int
+	// ClassName is the human name of the predicted class.
 	ClassName string
 	// Time is the flow's last-packet time (capture clock).
 	Time float64
@@ -45,11 +52,16 @@ type Alert struct {
 
 // Stats accumulates engine counters.
 type Stats struct {
-	Packets    int
-	Flows      int
-	Alerts     int
-	ByClass    []int
-	FeedbackOK int // feedback samples that required no model change
+	// Packets counts packets fed.
+	Packets int
+	// Flows counts completed (classified) flows.
+	Flows int
+	// Alerts counts non-benign verdicts.
+	Alerts int
+	// ByClass counts verdicts per class index; it sums to Flows.
+	ByClass []int
+	// FeedbackOK counts feedback samples that required no model change.
+	FeedbackOK int
 }
 
 // Config assembles an Engine.
@@ -72,6 +84,17 @@ type Config struct {
 	// and Flush) for GEMM-rate throughput. 0 or 1 classifies every flow
 	// immediately; models without PredictBatchInto also run immediately.
 	BatchSize int
+	// Quantize, when set to a valid bitpack.Width, lowers classification
+	// to packed w-bit integer inference (the paper's Table I bitwidths as
+	// a live serving mode): a *core.Model is packed once at engine build
+	// (quantize.FromCore — static thereafter, Feedback is a no-op), and a
+	// *core.COWModel is wrapped in quantize.AttachLive so every Feedback
+	// publication re-quantizes the class memory atomically with the
+	// snapshot swap. An already-quantized model (*quantize.Model or
+	// *quantize.Live) is accepted if its width matches. Zero serves
+	// float32. Verdicts at a given width are independent of BatchSize and
+	// shard count, exactly like the float path.
+	Quantize bitpack.Width
 	// OnAlert, when set, receives every alert synchronously.
 	OnAlert func(Alert)
 	// Shards is the worker count of NewSharded (0 selects
@@ -106,22 +129,75 @@ type Engine struct {
 	flushing bool
 }
 
-// New validates cfg and builds an engine.
-func New(cfg Config) (*Engine, error) {
+// applyQuantize resolves cfg.Quantize: the model is lowered to packed
+// cfg.Quantize-bit inference and the field cleared, so engines built from
+// the resolved config (each shard of a Sharded) share one quantized
+// classifier instead of re-packing per shard.
+func applyQuantize(cfg *Config) error {
+	if cfg.Quantize == 0 {
+		return nil
+	}
+	if !cfg.Quantize.Valid() {
+		return fmt.Errorf("pipeline: invalid quantize width %d (want one of %v)", cfg.Quantize, bitpack.Widths)
+	}
+	switch m := cfg.Model.(type) {
+	case *quantize.Model:
+		if m.Width != cfg.Quantize {
+			return fmt.Errorf("pipeline: model already quantized at %d bits, config asks for %d", m.Width, cfg.Quantize)
+		}
+	case *quantize.Live:
+		if m.Width() != cfg.Quantize {
+			return fmt.Errorf("pipeline: live quantized model serves %d bits, config asks for %d", m.Width(), cfg.Quantize)
+		}
+	case *core.Model:
+		q, err := quantize.FromCore(m, cfg.Quantize)
+		if err != nil {
+			return err
+		}
+		cfg.Model = q
+	case *core.COWModel:
+		live, err := quantize.AttachLive(m, cfg.Quantize)
+		if err != nil {
+			return err
+		}
+		cfg.Model = live
+	default:
+		return fmt.Errorf("pipeline: cannot quantize model type %T (want *core.Model or *core.COWModel)", cfg.Model)
+	}
+	cfg.Quantize = 0
+	return nil
+}
+
+// validate checks the required Config fields. It runs before
+// applyQuantize so a rejected config never leaves side effects on the
+// caller's model (quantizing a COWModel installs a derive hook and
+// publishes a new version).
+func validate(cfg Config) error {
 	if cfg.Model == nil {
-		return nil, fmt.Errorf("pipeline: nil model")
+		return fmt.Errorf("pipeline: nil model")
 	}
 	if cfg.Normalizer == nil {
-		return nil, fmt.Errorf("pipeline: nil normalizer")
+		return fmt.Errorf("pipeline: nil normalizer")
 	}
 	if len(cfg.ClassNames) == 0 {
-		return nil, fmt.Errorf("pipeline: no class names")
+		return fmt.Errorf("pipeline: no class names")
 	}
 	if cfg.BenignClass < 0 || cfg.BenignClass >= len(cfg.ClassNames) {
-		return nil, fmt.Errorf("pipeline: benign class %d out of range", cfg.BenignClass)
+		return fmt.Errorf("pipeline: benign class %d out of range", cfg.BenignClass)
 	}
 	if got := len(cfg.Normalizer.Mean); got != netflow.NumFeatures {
-		return nil, fmt.Errorf("pipeline: normalizer expects %d features but flows have %d — the model must be trained on CIC-style flow features (e.g. datasets.CICIDS2017)", got, netflow.NumFeatures)
+		return fmt.Errorf("pipeline: normalizer expects %d features but flows have %d — the model must be trained on CIC-style flow features (e.g. datasets.CICIDS2017)", got, netflow.NumFeatures)
+	}
+	return nil
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if err := applyQuantize(&cfg); err != nil {
+		return nil, err
 	}
 	e := &Engine{cfg: cfg}
 	e.stats.ByClass = make([]int, len(cfg.ClassNames))
@@ -221,9 +297,12 @@ func (e *Engine) verdict(f *netflow.Flow, class int) {
 	}
 }
 
-// Updater is the optional feedback interface (core.Model implements it):
-// analysts confirm or correct verdicts and the model adapts online.
+// Updater is the optional feedback interface (core.Model, core.COWModel
+// and quantize.Live implement it): analysts confirm or correct verdicts
+// and the model adapts online.
 type Updater interface {
+	// Update applies one labeled sample and reports whether the model
+	// changed.
 	Update(x []float32, label int) bool
 }
 

@@ -1,0 +1,262 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/core"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/quantize"
+)
+
+// runCapture streams the capture through a fresh engine built from cfg and
+// returns its stats.
+func runCapture(t *testing.T, cfg Config, live []netflow.Packet) Stats {
+	t.Helper()
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		eng.Feed(&live[i])
+	}
+	eng.Flush()
+	return eng.Stats()
+}
+
+func sameStats(t *testing.T, name string, got, want Stats) {
+	t.Helper()
+	if got.Flows != want.Flows || got.Alerts != want.Alerts {
+		t.Fatalf("%s: flows/alerts %d/%d != %d/%d", name, got.Flows, got.Alerts, want.Flows, want.Alerts)
+	}
+	for c := range want.ByClass {
+		if got.ByClass[c] != want.ByClass[c] {
+			t.Fatalf("%s: ByClass[%d] = %d != %d", name, c, got.ByClass[c], want.ByClass[c])
+		}
+	}
+}
+
+// TestQuantizeConfigValidation rejects invalid widths, width mismatches
+// with pre-quantized models, and unquantizable model types.
+func TestQuantizeConfigValidation(t *testing.T) {
+	cfg, _ := buildModel(t)
+	bad := cfg
+	bad.Quantize = bitpack.Width(3)
+	if _, err := New(bad); err == nil {
+		t.Error("accepted invalid width")
+	}
+	if _, err := NewSharded(bad); err == nil {
+		t.Error("sharded accepted invalid width")
+	}
+	bad = cfg
+	bad.Model = staticModel{}
+	bad.Quantize = bitpack.W8
+	if _, err := New(bad); err == nil {
+		t.Error("accepted unquantizable model type")
+	}
+	q, err := quantize.FromCore(cfg.Model.(*core.Model), bitpack.W4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = cfg
+	bad.Model = q
+	bad.Quantize = bitpack.W8
+	if _, err := New(bad); err == nil {
+		t.Error("accepted width mismatch with pre-quantized model")
+	}
+	bad.Quantize = bitpack.W4 // matching width is fine
+	if _, err := New(bad); err != nil {
+		t.Errorf("rejected matching pre-quantized model: %v", err)
+	}
+}
+
+// TestQuantizeRejectedConfigLeavesModelUntouched: a config rejected by
+// validation must not have mutated the caller's COWModel (no derive hook
+// installed, no version bump).
+func TestQuantizeRejectedConfigLeavesModelUntouched(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cow := core.NewCOWModel(cfg.Model.(*core.Model))
+	v0 := cow.Version()
+	bad := cfg
+	bad.Model = cow
+	bad.Quantize = bitpack.W8
+	bad.Normalizer = nil
+	if _, err := New(bad); err == nil {
+		t.Fatal("accepted nil normalizer")
+	}
+	if _, err := NewSharded(bad); err == nil {
+		t.Fatal("sharded accepted nil normalizer")
+	}
+	if cow.Version() != v0 {
+		t.Fatalf("rejected config bumped the model version: %d -> %d", v0, cow.Version())
+	}
+	if cow.Snapshot().Derived() != nil {
+		t.Fatal("rejected config installed a derive hook")
+	}
+}
+
+// TestQuantizeWidthConflictAcrossEngines: two engines at different widths
+// over one COWModel must fail loudly at build, not silently change what
+// the first engine scores against.
+func TestQuantizeWidthConflictAcrossEngines(t *testing.T) {
+	cfg, _ := buildModel(t)
+	cow := core.NewCOWModel(cfg.Model.(*core.Model))
+	cfg.Model = cow
+	cfg.Quantize = bitpack.W8
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	again := cfg // same width: several engines may share the model
+	if _, err := New(again); err != nil {
+		t.Errorf("same-width re-attach rejected: %v", err)
+	}
+	conflict := cfg
+	conflict.Quantize = bitpack.W1
+	if _, err := New(conflict); err == nil {
+		t.Error("different-width attach on a serving COWModel accepted")
+	}
+}
+
+// TestQuantizedEngineMatchesDirectModel pins that Config.Quantize is pure
+// plumbing: an engine built with Quantize=w produces bit-identical stats
+// to one handed a quantize.FromCore model directly, and the micro-batch
+// path is bit-identical to per-flow classification at every width.
+func TestQuantizedEngineMatchesDirectModel(t *testing.T) {
+	cfg, live := buildModel(t)
+	m := cfg.Model.(*core.Model)
+	for _, w := range []bitpack.Width{bitpack.W1, bitpack.W4, bitpack.W16} {
+		q, err := quantize.FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := cfg
+		direct.Model = q
+		want := runCapture(t, direct, live.Packets)
+
+		viaCfg := cfg
+		viaCfg.Quantize = w
+		sameStats(t, fmt.Sprintf("w%d sync", w), runCapture(t, viaCfg, live.Packets), want)
+
+		batched := viaCfg
+		batched.BatchSize = 64
+		sameStats(t, fmt.Sprintf("w%d batch64", w), runCapture(t, batched, live.Packets), want)
+	}
+}
+
+// TestQuantizedShardedMatchesSingleEngine extends the sharded bit-identity
+// contract to packed inference: merged stats at any shard count equal the
+// single quantized engine over the same capture.
+func TestQuantizedShardedMatchesSingleEngine(t *testing.T) {
+	cfg, live := buildModel(t)
+	cfg.Quantize = bitpack.W2
+	cfg.BatchSize = 32
+	want := runCapture(t, cfg, live.Packets)
+	for _, shards := range []int{1, 3} {
+		scfg := cfg
+		scfg.Shards = shards
+		sh, err := NewSharded(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live.Packets {
+			sh.Feed(live.Packets[i])
+		}
+		sh.Close()
+		sameStats(t, fmt.Sprintf("shards%d", shards), sh.Stats(), want)
+	}
+}
+
+// TestQuantizedCOWFeedbackRequantizes: with a COWModel behind Quantize,
+// engine Feedback must reach the float working copy and republish a
+// re-packed class memory.
+func TestQuantizedCOWFeedbackRequantizes(t *testing.T) {
+	cfg, live := buildModel(t)
+	cow := core.NewCOWModel(cfg.Model.(*core.Model))
+	cfg.Model = cow
+	cfg.Quantize = bitpack.W8
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := cow.Version()
+	if _, ok := cow.Snapshot().Derived().(*quantize.Model); !ok {
+		t.Fatal("engine build did not attach a quantized derive hook")
+	}
+	var flows []*netflow.Flow
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) { flows = append(flows, f) })
+	for i := range live.Packets {
+		eng.Feed(&live.Packets[i])
+		a.Add(&live.Packets[i])
+	}
+	eng.Flush()
+	a.Flush()
+	if eng.Stats().Flows == 0 {
+		t.Fatal("no flows classified")
+	}
+	// Mislabel flows until one changes the model.
+	changed := false
+	for _, f := range flows {
+		label, ok := live.Labels[f.Key]
+		if !ok {
+			continue
+		}
+		if eng.Feedback(f, (int(label)+1)%len(cfg.ClassNames)) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("no feedback changed the model")
+	}
+	if cow.Version() <= v0 {
+		t.Fatal("feedback did not publish a new version")
+	}
+	q, ok := cow.Snapshot().Derived().(*quantize.Model)
+	if !ok || q.Width != bitpack.W8 {
+		t.Fatalf("published snapshot lacks an 8-bit quantized memory: %T", cow.Snapshot().Derived())
+	}
+}
+
+// TestQuantizedOnFlowAllocFree pins the acceptance criterion: steady-state
+// quantized streaming classification allocates zero per flow, in both
+// synchronous and micro-batch mode, at the narrowest and a wide width.
+func TestQuantizedOnFlowAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg, live := buildModel(t)
+	var flows []*netflow.Flow
+	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) { flows = append(flows, f) })
+	for i := range live.Packets {
+		a.Add(&live.Packets[i])
+	}
+	a.Flush()
+	if len(flows) < 10 {
+		t.Fatalf("only %d flows harvested", len(flows))
+	}
+	for _, w := range []bitpack.Width{bitpack.W1, bitpack.W8} {
+		for name, batch := range map[string]int{"sync": 0, "batch": 8} {
+			cfg := cfg
+			cfg.Quantize = w
+			cfg.BatchSize = batch
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range flows { // warm pools and pending buffers
+				eng.onFlow(f)
+			}
+			eng.flushBatch()
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				eng.onFlow(flows[i%len(flows)])
+				i++
+			})
+			eng.flushBatch()
+			if allocs != 0 {
+				t.Errorf("w=%d %s mode: onFlow allocates %.2f objects per flow", w, name, allocs)
+			}
+		}
+	}
+}

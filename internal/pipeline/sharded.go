@@ -70,6 +70,14 @@ type shardMsg struct {
 // (0 selects runtime.GOMAXPROCS), each a full Engine over a copy of cfg
 // with the alert callback wrapped for serialized delivery.
 func NewSharded(cfg Config) (*Sharded, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	// Resolve quantization once so every shard scores against the same
+	// packed classifier (and Feedback reaches its Updater, if any).
+	if err := applyQuantize(&cfg); err != nil {
+		return nil, err
+	}
 	n := cfg.Shards
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)

@@ -1,0 +1,208 @@
+package quantize
+
+import (
+	"sync"
+	"testing"
+
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/core"
+	"cyberhd/internal/hdc"
+)
+
+// TestBatchMatchesPerSampleAllWidths pins the acceptance contract: batch
+// prediction is bit-identical to per-sample Predict at every supported
+// width, for batch sizes on both sides of the parallel threshold.
+func TestBatchMatchesPerSampleAllWidths(t *testing.T) {
+	m, _, _, xt, _ := trainedModel(t)
+	for _, w := range bitpack.Widths {
+		q, err := FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := q.PredictBatch(xt)
+		for i := 0; i < xt.Rows; i++ {
+			if p := q.Predict(xt.Row(i)); p != batch[i] {
+				t.Fatalf("w=%d row %d: Predict %d != PredictBatch %d", w, i, p, batch[i])
+			}
+		}
+	}
+}
+
+// TestPredictAllocFree pins the zero-allocation contract of steady-state
+// quantized prediction, single and batch.
+func TestPredictAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m, x, _, _, _ := trainedModel(t)
+	for _, w := range []bitpack.Width{bitpack.W1, bitpack.W8, bitpack.W32} {
+		q, err := FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample := x.Row(0)
+		q.Predict(sample) // warm pools and the lazy scorer
+		if allocs := testing.AllocsPerRun(100, func() { q.Predict(sample) }); allocs != 0 {
+			t.Errorf("w=%d: Predict allocates %.2f objects per call", w, allocs)
+		}
+		batch := &hdc.Matrix{Rows: 16, Cols: x.Cols, Data: x.Data[:16*x.Cols]}
+		out := make([]int, batch.Rows)
+		q.PredictBatchInto(batch, out)
+		if allocs := testing.AllocsPerRun(50, func() { q.PredictBatchInto(batch, out) }); allocs != 0 {
+			t.Errorf("w=%d: PredictBatchInto allocates %.2f objects per call", w, allocs)
+		}
+	}
+}
+
+// TestScorerAgreesWithClassify checks the model's cached-norm scoring path
+// against the stateless bitpack.Matrix.Classify on trained class memory.
+func TestScorerAgreesWithClassify(t *testing.T) {
+	m, x, _, _, _ := trainedModel(t)
+	h := make([]float32, m.Enc.Dim())
+	for _, w := range bitpack.Widths {
+		q, err := FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			m.Enc.Encode(x.Row(i), h)
+			packed := bitpack.Quantize(h, w)
+			if got, want := q.PredictEncoded(h), q.Class.Classify(packed); got != want {
+				t.Fatalf("w=%d sample %d: scorer %d != Classify %d", w, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAttachLiveInvalidWidth(t *testing.T) {
+	m, _, _, _, _ := trainedModel(t)
+	if _, err := AttachLive(core.NewCOWModel(m), bitpack.Width(5)); err == nil {
+		t.Fatal("accepted invalid width")
+	}
+}
+
+// TestAttachLiveWidthConflict: one COWModel serves one width — same-width
+// re-attach is fine, a different width must be rejected.
+func TestAttachLiveWidthConflict(t *testing.T) {
+	m, _, _, _, _ := trainedModel(t)
+	cow := core.NewCOWModel(m)
+	if _, err := AttachLive(cow, bitpack.W8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachLive(cow, bitpack.W8); err != nil {
+		t.Errorf("same-width re-attach rejected: %v", err)
+	}
+	if _, err := AttachLive(cow, bitpack.W2); err == nil {
+		t.Error("different-width attach accepted")
+	}
+}
+
+// TestLiveMatchesFromCore: with no feedback in flight, the live view must
+// predict exactly like a one-shot FromCore at the same width.
+func TestLiveMatchesFromCore(t *testing.T) {
+	m, _, _, xt, _ := trainedModel(t)
+	ref, err := FromCore(m, bitpack.W4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.PredictBatch(xt)
+	live, err := AttachLive(core.NewCOWModel(m), bitpack.W4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, xt.Rows)
+	live.PredictBatchInto(xt, out)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("row %d: live %d != FromCore %d", i, out[i], want[i])
+		}
+		if p := live.Predict(xt.Row(i)); p != want[i] {
+			t.Fatalf("row %d: live Predict %d != FromCore %d", i, p, want[i])
+		}
+	}
+	if live.Width() != bitpack.W4 {
+		t.Fatalf("Width = %d", live.Width())
+	}
+}
+
+// TestLiveRequantizesOnPublish: feedback that changes the model must
+// publish a new version whose packed memory reflects the update.
+func TestLiveRequantizesOnPublish(t *testing.T) {
+	m, x, y, _, _ := trainedModel(t)
+	live, err := AttachLive(core.NewCOWModel(m), bitpack.W8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := live.Version()
+	q0 := live.Model()
+	// Feed deliberately mislabeled samples until one flips the model.
+	changed := false
+	for i := 0; i < x.Rows && !changed; i++ {
+		changed = live.Update(x.Row(i), (y[i]+1)%4)
+	}
+	if !changed {
+		t.Fatal("no feedback sample changed the model")
+	}
+	if live.Version() <= v0 {
+		t.Fatalf("version did not advance: %d -> %d", v0, live.Version())
+	}
+	q1 := live.Model()
+	if q1 == q0 {
+		t.Fatal("publication did not rebuild the quantized model")
+	}
+	if q1.Width != bitpack.W8 {
+		t.Fatalf("re-quantized at width %d", q1.Width)
+	}
+	// The new packed memory must differ from the old somewhere.
+	same := true
+	for r := range q0.Class.Rows {
+		a, b := q0.Class.Rows[r], q1.Class.Rows[r]
+		for k := range a.Words {
+			if a.Words[k] != b.Words[k] {
+				same = false
+			}
+		}
+		if a.Scale != b.Scale {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("packed class memory identical across a model-changing publish")
+	}
+}
+
+// TestLiveConcurrentPredictAndUpdate drives classification from several
+// goroutines while feedback publishes new versions — the COW contract the
+// sharded engine relies on (meaningful under -race).
+func TestLiveConcurrentPredictAndUpdate(t *testing.T) {
+	m, x, y, _, _ := trainedModel(t)
+	live, err := AttachLive(core.NewCOWModel(m), bitpack.W2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := live.Predict(x.Row(i % x.Rows))
+				if p < 0 || p >= 4 {
+					t.Errorf("prediction %d out of range", p)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		live.Update(x.Row(i), (y[i]+1)%4)
+	}
+	close(stop)
+	wg.Wait()
+}

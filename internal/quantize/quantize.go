@@ -1,6 +1,11 @@
 // Package quantize lowers trained HDC models to reduced-precision class
 // memories for the paper's cross-platform evaluation (Table I) and
-// robustness study (Fig 5).
+// robustness study (Fig 5), and serves them live: Model drives the packed
+// kernel layer of internal/bitpack (blocked panel dots, cached row norms,
+// pooled query packing) so the streaming engine classifies flows in the
+// integer domain with zero steady-state allocations, and Live pairs a
+// core.COWModel with per-version re-quantization so online feedback and
+// packed inference coexist.
 //
 // Quantization is post-training: the float32 class hypervectors are packed
 // to b-bit integers (see internal/bitpack); queries are encoded in float
@@ -19,19 +24,33 @@ import (
 	"cyberhd/internal/rng"
 )
 
-// Model is a quantized HDC classifier.
+// Model is a quantized HDC classifier. All prediction paths run through
+// the packed kernel layer: queries are packed into pooled scratch and
+// scored against the class memory by a cached-norm bitpack.Scorer, so
+// steady-state Predict and PredictBatchInto perform no allocations.
 type Model struct {
 	// Width is the element bitwidth of the class memory and queries.
 	Width bitpack.Width
-	// Class is the packed class hypervector memory.
+	// Class is the packed class hypervector memory. Prediction divides by
+	// norms cached at first use (see Scorer), so callers that mutate the
+	// packed rows directly — fault injection on a model that has already
+	// predicted — must call Scorer().Refresh() afterwards.
 	Class *bitpack.Matrix
 	// Enc is the (float) encoder shared with the source model.
 	Enc encoder.Encoder
 
-	// hPool recycles encode buffers, encPool batch-encoding matrices, so
-	// repeated Predict/PredictBatchInto calls stop allocating per call.
+	// hPool recycles encode buffers, encPool batch-encoding matrices, and
+	// qPool packed-query vectors, so repeated Predict/PredictBatchInto
+	// calls stop allocating per call.
 	hPool   sync.Pool
 	encPool sync.Pool
+	qPool   sync.Pool
+
+	// scorer caches class-row norms and scores through the blocked packed
+	// panels; scorerOnce guards its lazy construction so first-use races
+	// between concurrent Predict calls are safe.
+	scorer     *bitpack.Scorer
+	scorerOnce sync.Once
 }
 
 // FromCore packs the class memory of m at width w.
@@ -57,9 +76,21 @@ func (m *Model) Dim() int {
 // NumClasses returns the number of classes.
 func (m *Model) NumClasses() int { return len(m.Class.Rows) }
 
+// Scorer returns the model's norm-caching packed scorer, building it on
+// first use (models assembled field-by-field have none yet). Safe for
+// concurrent first use from Predict.
+func (m *Model) Scorer() *bitpack.Scorer {
+	m.scorerOnce.Do(func() {
+		if m.scorer == nil {
+			m.scorer = bitpack.NewScorer(m.Class)
+		}
+	})
+	return m.scorer
+}
+
 // Predict encodes x, packs it at the model width, and returns the class
-// with the highest integer-domain cosine similarity. The encode buffer is
-// pooled; packing still allocates one query-sized vector per call.
+// with the highest integer-domain similarity. Encode and packed-query
+// buffers are pooled, so steady-state calls are allocation-free.
 func (m *Model) Predict(x []float32) int {
 	h, _ := m.hPool.Get().(*[]float32)
 	if h == nil || len(*h) != m.Enc.Dim() {
@@ -100,9 +131,18 @@ func (m *Model) PredictBatchInto(x *hdc.Matrix, out []int) {
 	m.encPool.Put(enc)
 }
 
-// PredictEncoded classifies an already-encoded float hypervector.
+// PredictEncoded classifies an already-encoded float hypervector: the
+// query is packed at the model width into pooled scratch and scored
+// against the cached-norm class memory through the blocked packed panels.
 func (m *Model) PredictEncoded(h []float32) int {
-	return m.Class.Classify(bitpack.Quantize(h, m.Width))
+	q, _ := m.qPool.Get().(*bitpack.Vector)
+	if q == nil {
+		q = bitpack.NewVector(len(h), m.Width)
+	}
+	bitpack.QuantizeInto(h, m.Width, q)
+	pred := m.Scorer().Classify(q)
+	m.qPool.Put(q)
+	return pred
 }
 
 func (m *Model) classifyRows(enc *hdc.Matrix, out []int, lo, hi int) {
@@ -168,11 +208,13 @@ func Retrain(src *core.Model, w bitpack.Width, x *hdc.Matrix, y []int, epochs in
 		order[i] = i
 	}
 	sims := make([]float64, shadow.Rows)
+	qv := bitpack.NewVector(shadow.Cols, w) // packed-query scratch, reused per sample
 	for e := 0; e < epochs; e++ {
 		r.ShuffleInts(order)
 		for _, i := range order {
 			h := enc2.Row(i)
-			pred := packed.Classify(bitpack.Quantize(h, w))
+			bitpack.QuantizeInto(h, w, qv)
+			pred := packed.Classify(qv)
 			if pred == y[i] {
 				continue
 			}

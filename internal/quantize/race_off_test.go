@@ -1,0 +1,5 @@
+//go:build !race
+
+package quantize
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package quantize
+
+// raceEnabled disables allocation-count assertions under the race
+// detector, whose instrumentation allocates on its own.
+const raceEnabled = true
