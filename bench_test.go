@@ -16,6 +16,7 @@
 package cyberhd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -547,7 +548,7 @@ func benchEngine(b *testing.B, batch int) {
 			b.Fatal(err)
 		}
 		for p := range live.Packets {
-			eng.Feed(&live.Packets[p])
+			eng.Feed(live.Packets[p])
 		}
 		eng.Flush()
 		flows = eng.Stats().Flows
@@ -639,7 +640,7 @@ func benchQuantEngine(b *testing.B, w bitpack.Width, batch int) {
 			b.Fatal(err)
 		}
 		for p := range live.Packets {
-			eng.Feed(&live.Packets[p])
+			eng.Feed(live.Packets[p])
 		}
 		eng.Flush()
 		flows = eng.Stats().Flows
@@ -657,6 +658,38 @@ func BenchmarkQuantizedClassify(b *testing.B) {
 		w := w
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { benchQuantEngine(b, w, 64) })
 	}
+}
+
+// ------------------------------------------- Serving runtime (PR 4)
+
+// benchRunnerReplay streams the shared capture through the serving
+// runtime — Runner over a slice source with 1 s auto-ticks — and reports
+// flows/s. Comparable against benchEngine, which hand-drives the same
+// engine without ticks: the delta is the runtime's pump overhead.
+func benchRunnerReplay(b *testing.B, batch int) {
+	cfg, live := benchStreamShape(b)
+	cfg.BatchSize = batch
+	flows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := pipeline.NewRunner(cfg, netflow.NewSliceSource(live.Packets))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := r.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows = st.Flows
+	}
+	b.ReportMetric(float64(flows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkRunnerReplay measures end-to-end serving-runtime throughput
+// (source → runner → engine → stats) per-flow and micro-batched.
+func BenchmarkRunnerReplay(b *testing.B) {
+	b.Run("sync", func(b *testing.B) { benchRunnerReplay(b, 0) })
+	b.Run("batch64", func(b *testing.B) { benchRunnerReplay(b, 64) })
 }
 
 // benchLabeledFlows featurizes the shared capture's ground-truth-labeled
@@ -725,7 +758,7 @@ func TestWriteBench3JSON(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range live.Packets {
-			eng.Feed(&live.Packets[i])
+			eng.Feed(live.Packets[i])
 		}
 		eng.Flush()
 		return eng.Stats()
@@ -859,7 +892,7 @@ func TestWriteBench2JSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		single.Feed(&live.Packets[i])
+		single.Feed(live.Packets[i])
 	}
 	single.Flush()
 	want := single.Stats()

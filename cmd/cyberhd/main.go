@@ -10,12 +10,16 @@
 //	cyberhd detect -train 3000 -sessions 1000              # end-to-end live detection
 //	cyberhd detect -shards 0 -batch 64                     # flow-sharded, one engine per core
 //	cyberhd detect -width 4 -batch 64                      # packed 4-bit integer inference
+//	cyberhd detect -capture traffic.cap -jsonl alerts.jsonl # O(1)-memory replay, JSONL alerts
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"cyberhd"
 	"cyberhd/internal/bitpack"
@@ -26,7 +30,6 @@ import (
 	"cyberhd/internal/pipeline"
 	"cyberhd/internal/quantize"
 	"cyberhd/internal/rng"
-	"cyberhd/internal/traffic"
 )
 
 func main() {
@@ -218,10 +221,12 @@ func cmdDetect(args []string) error {
 	trainSessions := fs.Int("train", 3000, "training capture size (sessions)")
 	liveSessions := fs.Int("sessions", 1000, "live capture size (sessions)")
 	seed := fs.Uint64("seed", 42, "random seed")
-	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic")
+	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic (streamed in O(1) memory)")
 	shards := fs.Int("shards", 1, "engine shards (1 = single in-process engine; 0 = one per core)")
 	batch := fs.Int("batch", 0, "micro-batch size per engine (0 = classify per flow)")
 	width := fs.Int("width", 0, "quantized inference bitwidth: 1, 2, 4, 8, 16 or 32 (0 = float32)")
+	tick := fs.Float64("tick", 1, "auto-tick interval in capture seconds (bounds batched-verdict delay; < 0 disables)")
+	jsonl := fs.String("jsonl", "", "append alerts as JSON lines to this file ('-' = stdout)")
 	verbose := fs.Bool("v", false, "print every alert")
 	fs.Parse(args)
 	if *width != 0 && !bitpack.Width(*width).Valid() {
@@ -234,93 +239,119 @@ func cmdDetect(args []string) error {
 	}
 	fmt.Println("detector:", det)
 
+	// Ingest: an O(1)-memory capture replay, or generated live traffic.
+	var src cyberhd.PacketSource
 	var live *cyberhd.TrafficStream
 	if *capture != "" {
-		pkts, err := netflow.LoadCapture(*capture)
+		cf, err := cyberhd.OpenCapture(*capture)
 		if err != nil {
 			return err
 		}
-		live = &cyberhd.TrafficStream{Packets: pkts, Labels: map[netflow.FlowKey]traffic.Label{}}
+		defer cf.Close()
+		src = cf
 	} else {
 		live = cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: *liveSessions, Seed: *seed + 1})
+		src = cyberhd.NewSliceSource(live.Packets)
 	}
 
-	// Score verdicts against ground truth where available.
-	conf := metrics.NewConfusion(det.ClassNames)
-	scored := 0
-	onAlert := func(a cyberhd.Alert) {
-		if *verbose {
+	// Egress: optional verbose printing and JSONL export ride along as
+	// alert sinks on the one serving path.
+	opts := []cyberhd.EngineOption{
+		cyberhd.WithBatchSize(*batch),
+		cyberhd.WithQuantized(cyberhd.Width(*width)),
+		cyberhd.WithShards(*shards),
+		cyberhd.WithTickInterval(*tick),
+	}
+	if *verbose {
+		opts = append(opts, cyberhd.WithSinks(cyberhd.SinkFunc(func(a cyberhd.Alert) {
 			fmt.Printf("ALERT t=%9.2fs %-12s %4d pkts %9.0f bytes\n",
 				a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes())
-		}
+		})))
 	}
-	cfg := cyberhd.EngineConfig{
-		Model:      det.Model,
-		Normalizer: det.Normalizer,
-		ClassNames: det.ClassNames,
-		BatchSize:  *batch,
-		Quantize:   cyberhd.Width(*width),
-		OnAlert:    onAlert,
-		Shards:     *shards,
+	var jsonlSink *cyberhd.JSONLSink
+	var jsonlFile *os.File
+	if *jsonl != "" {
+		w := io.Writer(os.Stdout)
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return err
+			}
+			jsonlFile = f
+			defer f.Close() // backstop for error returns; success path closes and checks below
+			w = f
+		}
+		jsonlSink = cyberhd.NewJSONLSink(w)
+		opts = append(opts, cyberhd.WithSinks(jsonlSink))
 	}
 	if *width != 0 {
 		fmt.Printf("quantized inference: %d-bit packed class memory\n", *width)
 	}
-	// feed/finish abstract over the single-threaded engine and the
-	// flow-sharded multi-core one so the replay loop below is shared.
-	var feed func(p *cyberhd.Packet)
-	var finish func() pipeline.Stats
-	if *shards == 1 {
-		eng, err := cyberhd.NewEngine(cfg)
-		if err != nil {
-			return err
+	// Mirror the runner's shard resolution (0 = one per core; a resolved
+	// count of 1 serves the plain single-core engine).
+	if n := *shards; n != 1 {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
 		}
-		feed = eng.Feed
-		finish = func() pipeline.Stats { eng.Flush(); return eng.Stats() }
-	} else {
-		seng, err := cyberhd.NewShardedEngine(cfg)
-		if err != nil {
-			return err
+		if n > 1 {
+			fmt.Printf("sharded engine: %d flow-hash shards\n", n)
 		}
-		fmt.Printf("sharded engine: %d flow-hash shards\n", seng.NumShards())
-		feed = func(p *cyberhd.Packet) { seng.Feed(*p) }
-		finish = func() pipeline.Stats { seng.Close(); return seng.Stats() }
 	}
-	// A parallel label-aware assembler scores verdicts against ground
-	// truth, using the same inference the engine serves: the packed
-	// quantized model when -width is set, float32 otherwise.
-	scoreModel := pipeline.Classifier(det.Model)
-	if *width != 0 {
-		q, err := quantize.FromCore(det.Model, bitpack.Width(*width))
-		if err != nil {
-			return err
-		}
-		scoreModel = q
+
+	st, err := cyberhd.Serve(context.Background(), det, src, opts...)
+	if err != nil {
+		return err
 	}
-	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
-		label, ok := live.Labels[f.Key]
-		if !ok {
-			return
+	// A failed alert export must fail the run: a truncated JSONL file that
+	// exits 0 looks like a successful export to anything scripted on top.
+	if jsonlSink != nil {
+		if err := jsonlSink.Err(); err != nil {
+			return fmt.Errorf("jsonl sink: %w", err)
 		}
-		feat := f.Features()
-		x := make([]float32, len(feat))
-		copy(x, feat)
-		det.Normalizer.ApplyVec(x)
-		conf.Add(int(label), scoreModel.Predict(x))
-		scored++
-	})
-	for i := range live.Packets {
-		feed(&live.Packets[i])
-		a.Add(&live.Packets[i])
+		if jsonlFile != nil {
+			if err := jsonlFile.Close(); err != nil {
+				return err
+			}
+		}
 	}
-	st := finish()
-	a.Flush()
 	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
-	if scored > 0 {
-		fmt.Printf("scored %d labeled flows: accuracy %.4f, detection rate %.4f, false alarms %.4f\n",
-			scored, conf.Accuracy(), conf.DetectionRate(0), conf.FalseAlarmRate(0))
-		fmt.Println("\nconfusion matrix:")
-		fmt.Print(conf)
+
+	// Score verdicts against ground truth where available (generated
+	// traffic only — captures carry no labels), using the same inference
+	// the engine served: the packed quantized model when -width is set.
+	if live != nil {
+		scoreModel := pipeline.Classifier(det.Model)
+		if *width != 0 {
+			q, err := quantize.FromCore(det.Model, bitpack.Width(*width))
+			if err != nil {
+				return err
+			}
+			scoreModel = q
+		}
+		conf := metrics.NewConfusion(det.ClassNames)
+		scored := 0
+		a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
+			label, ok := live.Labels[f.Key]
+			if !ok {
+				return
+			}
+			feat := f.Features()
+			x := make([]float32, len(feat))
+			copy(x, feat)
+			det.Normalizer.ApplyVec(x)
+			conf.Add(int(label), scoreModel.Predict(x))
+			scored++
+		})
+		for i := range live.Packets {
+			a.Add(&live.Packets[i])
+		}
+		a.Flush()
+		if scored > 0 {
+			fmt.Printf("scored %d labeled flows: accuracy %.4f, detection rate %.4f, false alarms %.4f\n",
+				scored, conf.Accuracy(), conf.DetectionRate(0), conf.FalseAlarmRate(0))
+			fmt.Println("\nconfusion matrix:")
+			fmt.Print(conf)
+		}
 	}
 	return nil
 }

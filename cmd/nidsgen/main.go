@@ -24,8 +24,8 @@ func main() {
 	sessions := flag.Int("sessions", 2000, "number of traffic sessions")
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("out", "", "output flow-feature CSV path")
-	capture := flag.String("capture", "", "also write the raw packet log (binary capture) to this path")
-	replay := flag.String("replay", "", "read packets from a capture file instead of generating (stats/CSV from replayed flows are unlabeled-benign)")
+	capture := flag.String("capture", "", "also write the raw packet log (binary capture) to this path (generation only)")
+	replay := flag.String("replay", "", "read packets from a capture file instead of generating, streamed in O(1) memory (replayed flows are unlabeled-benign)")
 	mixFlag := flag.String("mix", "", "class mix, e.g. benign=0.8,dos=0.1,portscan=0.1")
 	stats := flag.Bool("stats", false, "print capture statistics")
 	flag.Parse()
@@ -39,36 +39,51 @@ func main() {
 		}
 		cfg.Mix = mix
 	}
-	var stream *traffic.Stream
+	var ds *datasets.Dataset
+	var nPackets int
+	var lastTime float64
 	if *replay != "" {
-		pkts, err := netflow.LoadCapture(*replay)
+		if *capture != "" {
+			fmt.Fprintln(os.Stderr, "nidsgen: -capture requires generation (replay streams the capture, it does not rewrite it)")
+			os.Exit(1)
+		}
+		// Stream the capture record-by-record — a multi-gigabyte log
+		// assembles into flows without ever living in memory. Replayed
+		// captures carry no ground truth; every flow is labeled benign so
+		// the feature table is still usable (e.g. for inference runs).
+		cf, err := netflow.OpenCapture(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nidsgen:", err)
 			os.Exit(1)
 		}
-		// Replayed captures carry no ground truth; mark every flow benign
-		// so the feature table is still usable (e.g. for inference runs).
-		labels := make(map[netflow.FlowKey]traffic.Label)
-		for i := range pkts {
-			key, _ := netflow.KeyOf(&pkts[i])
-			labels[key] = traffic.Benign
-		}
-		stream = &traffic.Stream{Packets: pkts, Labels: labels}
-	} else {
-		stream = traffic.Generate(cfg)
-	}
-	ds := datasets.FromStream("nidsgen", stream, traffic.LabelNames(),
-		func(l traffic.Label) int { return int(l) })
-	if *capture != "" {
-		if err := netflow.SaveCapture(*capture, stream.Packets); err != nil {
+		defer cf.Close()
+		tap := &tapSource{src: cf}
+		ds, err = datasets.FromSource("nidsgen", tap, nil, traffic.LabelNames(),
+			func(l traffic.Label) int { return int(l) })
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "nidsgen:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote capture %s: %d packets\n", *capture, len(stream.Packets))
+		nPackets, lastTime = tap.n, tap.last
+	} else {
+		stream := traffic.Generate(cfg)
+		ds = datasets.FromStream("nidsgen", stream, traffic.LabelNames(),
+			func(l traffic.Label) int { return int(l) })
+		nPackets = len(stream.Packets)
+		if nPackets > 0 {
+			lastTime = stream.Packets[nPackets-1].Time
+		}
+		if *capture != "" {
+			if err := netflow.SaveCapture(*capture, stream.Packets); err != nil {
+				fmt.Fprintln(os.Stderr, "nidsgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote capture %s: %d packets\n", *capture, nPackets)
+		}
 	}
 
 	if *stats || *out == "" {
-		printStats(stream, ds)
+		printStats(nPackets, lastTime, ds)
 	}
 	if *out != "" {
 		if err := datasets.SaveCSV(*out, ds); err != nil {
@@ -77,6 +92,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d flows × %d features\n", *out, ds.Len(), ds.NumFeatures())
 	}
+}
+
+// tapSource forwards a PacketSource while counting packets and tracking
+// the last capture timestamp, so replay statistics don't require holding
+// the packet log in memory.
+type tapSource struct {
+	src  netflow.PacketSource
+	n    int
+	last float64
+}
+
+// Next delegates to the wrapped source, recording count and last time.
+func (t *tapSource) Next(p *netflow.Packet) error {
+	err := t.src.Next(p)
+	if err == nil {
+		t.n++
+		t.last = p.Time
+	}
+	return err
 }
 
 func parseMix(s string) (map[traffic.Label]float64, error) {
@@ -103,9 +137,9 @@ func parseMix(s string) (map[traffic.Label]float64, error) {
 	return mix, nil
 }
 
-func printStats(stream *traffic.Stream, ds *datasets.Dataset) {
+func printStats(packets int, lastTime float64, ds *datasets.Dataset) {
 	fmt.Printf("packets: %d   flows: %d   features: %d\n",
-		len(stream.Packets), ds.Len(), ds.NumFeatures())
+		packets, ds.Len(), ds.NumFeatures())
 	counts := ds.ClassCounts()
 	for i, name := range ds.ClassNames {
 		if counts[i] > 0 {
@@ -113,9 +147,8 @@ func printStats(stream *traffic.Stream, ds *datasets.Dataset) {
 				100*float64(counts[i])/float64(ds.Len()))
 		}
 	}
-	if len(stream.Packets) > 0 {
-		last := stream.Packets[len(stream.Packets)-1].Time
+	if packets > 0 && lastTime > 0 {
 		fmt.Printf("capture window: %.1f s   mean rate: %.0f pkt/s\n",
-			last, float64(len(stream.Packets))/last)
+			lastTime, float64(packets)/lastTime)
 	}
 }

@@ -10,7 +10,14 @@
 //
 //	ds := cyberhd.NSLKDD(20000, 42)
 //	det, err := cyberhd.TrainDetector(ds, cyberhd.DefaultConfig())
-//	class := det.Classify(features)     // or det.NewEngine for live traffic
+//	class := det.Classify(features)
+//
+// Live traffic is one call more: det.Serve pumps any PacketSource through
+// a detection engine and fans alerts to sinks (see serve.go and the
+// serving-runtime section of ARCHITECTURE.md):
+//
+//	stats, err := det.Serve(ctx, source, cyberhd.WithBatchSize(64),
+//	    cyberhd.WithSinks(cyberhd.NewJSONLSink(os.Stdout)))
 //
 // Lower-level control (custom encoders, quantization, fault injection,
 // experiment reproduction) is exposed through type aliases into the
@@ -243,8 +250,9 @@ func NewCOWModel(m *Model) *COWModel { return core.NewCOWModel(m) }
 
 // NewEngine builds a streaming detection engine around the detector.
 // benignClass is the class index that does not alert (0 in all four
-// datasets); onAlert may be nil. Use the package-level NewEngine for
-// non-default engine options (e.g. micro-batching).
+// datasets); onAlert may be nil. Most callers want Serve (one call,
+// source to sinks) or d.EngineConfig with options instead; this remains
+// the minimal hand-driven form.
 func (d *Detector) NewEngine(benignClass int, onAlert func(Alert)) (*Engine, error) {
 	return NewEngine(EngineConfig{
 		Model:       d.Model,

@@ -77,7 +77,7 @@ func TestDetectorEngineOnLiveTraffic(t *testing.T) {
 	}
 	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 	}
 	eng.Flush()
 	if alerts == 0 {
@@ -101,7 +101,7 @@ func TestShardedEngineFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		single.Feed(&live.Packets[i])
+		single.Feed(live.Packets[i])
 	}
 	single.Flush()
 	want := single.Stats()
@@ -218,7 +218,7 @@ func TestDetectorSaveLoad(t *testing.T) {
 	}
 	live := GenerateTraffic(TrafficConfig{Sessions: 50, Seed: 5})
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 	}
 	eng.Flush()
 }

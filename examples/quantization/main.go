@@ -1,17 +1,18 @@
 // Quantized streaming: the Table I bitwidth sweep as a live serving mode.
-// One detector is trained, then the same capture is streamed through an
-// engine at every supported bitwidth (EngineConfig.Quantize — the same
-// path as `cyberhd detect -width N`): completed flows are encoded in
-// float, packed to w-bit integers, and scored against the packed class
-// memory by XNOR/popcount (1-bit) or widened-integer (2–32 bit) kernels.
-// Verdict counts, class-memory footprint and the modeled FPGA efficiency
-// are reported per width, against the float32 engine on identical
-// traffic.
+// One detector is trained, then the same capture is served at every
+// supported bitwidth through the one-call runtime (Detector.Serve with
+// WithQuantized — the same path as `cyberhd detect -width N`): completed
+// flows are encoded in float, packed to w-bit integers, and scored
+// against the packed class memory by XNOR/popcount (1-bit) or
+// widened-integer (2–32 bit) kernels. Verdict counts, class-memory
+// footprint and the modeled FPGA efficiency are reported per width,
+// against the float32 engine on identical traffic.
 //
 //	go run ./examples/quantization
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	// Train once; every engine below serves this one model.
+	// Train once; every serve below runs this one model.
 	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(3000, 7), cyberhd.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -29,25 +30,18 @@ func main() {
 	fmt.Printf("detector ready: %v\n\n", det)
 	live := cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: 800, Seed: 1234})
 
-	// stream runs the capture through one engine configuration and
-	// returns its stats and wall-clock time.
+	// stream serves the capture once at width w (0 = float32) and returns
+	// the final stats and wall-clock time. Identical traffic, identical
+	// micro-batching — only the inference kernels change.
 	stream := func(w cyberhd.Width) (cyberhd.EngineStats, time.Duration) {
-		eng, err := cyberhd.NewEngine(cyberhd.EngineConfig{
-			Model:      det.Model,
-			Normalizer: det.Normalizer,
-			ClassNames: det.ClassNames,
-			BatchSize:  64, // micro-batch through the blocked kernels
-			Quantize:   w,  // 0 = float32
-		})
+		start := time.Now()
+		st, err := det.Serve(context.Background(), cyberhd.NewSliceSource(live.Packets),
+			cyberhd.WithBatchSize(64), // micro-batch through the blocked kernels
+			cyberhd.WithQuantized(w))
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		for i := range live.Packets {
-			eng.Feed(&live.Packets[i])
-		}
-		eng.Flush()
-		return eng.Stats(), time.Since(start)
+		return st, time.Since(start)
 	}
 
 	base, baseDur := stream(0)

@@ -41,4 +41,9 @@ func main() {
 	}
 	fmt.Printf("\n1-bit model memory: %d bits (%.1fx smaller than float32)\n",
 		q.MemoryBits(), 32.0)
+
+	// Next step: live serving. A detector trained on CIC flow features
+	// monitors packet streams in one call — det.Serve(ctx, source, opts...)
+	// pumps any PacketSource through the engine and fans alerts to sinks.
+	// See examples/streaming and examples/quantization.
 }

@@ -1,11 +1,15 @@
 // Streaming NIDS: train a detector on one synthetic capture, then monitor
-// a live packet stream (Fig 1(a) of the paper) — flows assemble in real
-// time, completed flows are encoded and classified, attacks raise alerts.
+// a live packet stream (Fig 1(a) of the paper) through the serving
+// runtime — a packet source pumps into the engine under a context, flows
+// assemble and classify in real time, and attack verdicts fan out to
+// alert sinks (here: a counting sink plus a rate-limited console printer,
+// so an alert flood pages once instead of a thousand times).
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,28 +25,29 @@ func main() {
 	}
 	fmt.Printf("detector ready: %v\n\n", det)
 
-	// Live monitoring: the engine ingests packets and alerts on completed
-	// attack flows. (Here the "wire" is the traffic simulator.)
+	// Egress: count everything, print a bounded sample. The rate limiter
+	// forwards at most 2 alerts per class per 300 capture-seconds.
 	alertsByClass := map[string]int{}
-	eng, err := det.NewEngine(0, func(a cyberhd.Alert) {
-		alertsByClass[a.ClassName]++
-		if alertsByClass[a.ClassName] <= 3 { // show the first few per class
-			fmt.Printf("ALERT t=%8.2fs  %-12s  %3d pkts %8.0f bytes  dur %6.2fs\n",
-				a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes(), a.Flow.Duration())
-		}
-	})
+	counter := cyberhd.SinkFunc(func(a cyberhd.Alert) { alertsByClass[a.ClassName]++ })
+	printer := cyberhd.NewRateLimitSink(cyberhd.SinkFunc(func(a cyberhd.Alert) {
+		fmt.Printf("ALERT t=%8.2fs  %-12s  %3d pkts %8.0f bytes  dur %6.2fs\n",
+			a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes(), a.Flow.Duration())
+	}), 2, 300)
+
+	// Live monitoring, one call: the runner pumps the source into the
+	// engine, auto-ticks from capture timestamps so idle flows evict and
+	// verdicts never stall, drains on end of stream, and returns exact
+	// final stats. (Here the "wire" is the traffic simulator; swap in
+	// cyberhd.OpenCapture for an on-disk log, or any PacketSource.)
+	live := cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: 1500, Seed: 1234})
+	st, err := det.Serve(context.Background(), cyberhd.NewSliceSource(live.Packets),
+		cyberhd.WithSinks(counter, printer))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	live := cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: 1500, Seed: 1234})
-	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
-	}
-	eng.Flush()
-
-	st := eng.Stats()
-	fmt.Printf("\nprocessed %d packets → %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
+	fmt.Printf("\nprocessed %d packets → %d flows, %d alerts (%d printed, %d rate-limited)\n",
+		st.Packets, st.Flows, st.Alerts, st.Alerts-printer.Suppressed(), printer.Suppressed())
 	fmt.Println("alerts by class:")
 	for name, n := range alertsByClass {
 		fmt.Printf("  %-14s %d\n", name, n)

@@ -1,6 +1,8 @@
 package datasets
 
 import (
+	"io"
+
 	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/traffic"
@@ -11,12 +13,34 @@ import (
 // labels to dataset class indices (return -1 to drop a flow); classNames
 // names the resulting classes.
 func FromStream(name string, s *traffic.Stream, classNames []string, classOf func(traffic.Label) int) *Dataset {
+	ds, err := FromSource(name, netflow.NewSliceSource(s.Packets), s.Labels, classNames, classOf)
+	if err != nil {
+		// A slice source never fails; keep FromStream's simple signature.
+		panic(err)
+	}
+	return ds
+}
+
+// FromSource assembles a packet source into a flow-feature dataset,
+// streaming: packets are drained one at a time (a multi-gigabyte capture
+// replays in O(flows) memory, not O(packets)), flows complete through the
+// CIC assembler, and flows whose key appears in flowLabels become rows. A
+// nil flowLabels marks every flow Benign — the honest label for replayed
+// captures that carry no ground truth. classOf maps traffic labels to
+// dataset class indices (return -1 to drop a flow); classNames names the
+// resulting classes.
+func FromSource(name string, src netflow.PacketSource, flowLabels map[netflow.FlowKey]traffic.Label,
+	classNames []string, classOf func(traffic.Label) int) (*Dataset, error) {
 	var feats [][]float32
 	var labels []int
 	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) {
-		label, ok := s.Labels[f.Key]
-		if !ok {
-			return
+		label := traffic.Benign
+		if flowLabels != nil {
+			l, ok := flowLabels[f.Key]
+			if !ok {
+				return
+			}
+			label = l
 		}
 		c := classOf(label)
 		if c < 0 {
@@ -25,8 +49,16 @@ func FromStream(name string, s *traffic.Stream, classNames []string, classOf fun
 		feats = append(feats, f.Features())
 		labels = append(labels, c)
 	})
-	for i := range s.Packets {
-		a.Add(&s.Packets[i])
+	var p netflow.Packet
+	for {
+		err := src.Next(&p)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.Add(&p)
 	}
 	a.Flush()
 	ds := &Dataset{
@@ -39,7 +71,7 @@ func FromStream(name string, s *traffic.Stream, classNames []string, classOf fun
 	for i, f := range feats {
 		copy(ds.X.Row(i), f)
 	}
-	return ds
+	return ds, nil
 }
 
 // CICIDS2017 generates the CIC-IDS-2017 reconstruction: packet-level

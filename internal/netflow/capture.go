@@ -50,8 +50,20 @@ func WriteCapture(w io.Writer, packets []Packet) error {
 	return bw.Flush()
 }
 
-// ReadCapture deserializes a packet log written by WriteCapture.
-func ReadCapture(r io.Reader) ([]Packet, error) {
+// CaptureScanner streams packets out of a capture written by WriteCapture
+// one record at a time — replaying a multi-gigabyte capture costs one
+// record buffer, not the whole file. It implements PacketSource.
+type CaptureScanner struct {
+	br   *bufio.Reader
+	left uint32
+	// rec is the reused record buffer — a local would escape through the
+	// io.ReadFull interface call and cost one allocation per packet.
+	rec [packetRecordSize]byte
+}
+
+// NewCaptureScanner validates the capture header of r and returns a
+// scanner positioned at the first record.
+func NewCaptureScanner(r io.Reader) (*CaptureScanner, error) {
 	br := bufio.NewReader(r)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -63,27 +75,82 @@ func ReadCapture(r io.Reader) ([]Packet, error) {
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != captureVersion {
 		return nil, fmt.Errorf("netflow: unsupported capture version %d", v)
 	}
-	count := binary.LittleEndian.Uint32(hdr[8:])
-	packets := make([]Packet, 0, count)
-	var rec [packetRecordSize]byte
-	for i := uint32(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("netflow: capture record %d: %w", i, err)
-		}
-		packets = append(packets, Packet{
-			Time:       math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-			SrcIP:      binary.LittleEndian.Uint32(rec[8:]),
-			DstIP:      binary.LittleEndian.Uint32(rec[12:]),
-			SrcPort:    binary.LittleEndian.Uint16(rec[16:]),
-			DstPort:    binary.LittleEndian.Uint16(rec[18:]),
-			Proto:      Proto(rec[20]),
-			Length:     int(binary.LittleEndian.Uint32(rec[21:])),
-			HeaderLen:  int(binary.LittleEndian.Uint32(rec[25:])),
-			Flags:      rec[29],
-			WindowSize: binary.LittleEndian.Uint16(rec[30:]),
-		})
+	return &CaptureScanner{br: br, left: binary.LittleEndian.Uint32(hdr[8:])}, nil
+}
+
+// Remaining returns how many records have not been read yet.
+func (s *CaptureScanner) Remaining() int { return int(s.left) }
+
+// Next decodes the next record into *p, or returns io.EOF after the last
+// one. A capture truncated mid-record returns a wrapped ErrUnexpectedEOF.
+func (s *CaptureScanner) Next(p *Packet) error {
+	if s.left == 0 {
+		return io.EOF
 	}
-	return packets, nil
+	rec := s.rec[:]
+	if _, err := io.ReadFull(s.br, rec); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("netflow: capture record (%d remaining): %w", s.left, err)
+	}
+	s.left--
+	*p = Packet{
+		Time:       math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+		SrcIP:      binary.LittleEndian.Uint32(rec[8:]),
+		DstIP:      binary.LittleEndian.Uint32(rec[12:]),
+		SrcPort:    binary.LittleEndian.Uint16(rec[16:]),
+		DstPort:    binary.LittleEndian.Uint16(rec[18:]),
+		Proto:      Proto(rec[20]),
+		Length:     int(binary.LittleEndian.Uint32(rec[21:])),
+		HeaderLen:  int(binary.LittleEndian.Uint32(rec[25:])),
+		Flags:      rec[29],
+		WindowSize: binary.LittleEndian.Uint16(rec[30:]),
+	}
+	return nil
+}
+
+// ScanCapture streams a capture through fn one packet at a time (the
+// callback form of CaptureScanner). fn receives a reused *Packet — copy it
+// to retain it. A non-nil error from fn stops the scan and is returned.
+func ScanCapture(r io.Reader, fn func(*Packet) error) error {
+	s, err := NewCaptureScanner(r)
+	if err != nil {
+		return err
+	}
+	var p Packet
+	for {
+		if err := s.Next(&p); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := fn(&p); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadCapture deserializes a packet log written by WriteCapture into
+// memory. Streaming replay should use NewCaptureScanner or OpenCapture
+// instead, which cost O(1) memory.
+func ReadCapture(r io.Reader) ([]Packet, error) {
+	s, err := NewCaptureScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	packets := make([]Packet, 0, s.Remaining())
+	var p Packet
+	for {
+		if err := s.Next(&p); err != nil {
+			if err == io.EOF {
+				return packets, nil
+			}
+			return nil, err
+		}
+		packets = append(packets, p)
+	}
 }
 
 // SaveCapture writes packets to path.
@@ -99,7 +166,7 @@ func SaveCapture(path string, packets []Packet) error {
 	return f.Sync()
 }
 
-// LoadCapture reads a packet log from path.
+// LoadCapture reads a packet log from path into memory.
 func LoadCapture(path string) ([]Packet, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -108,3 +175,28 @@ func LoadCapture(path string) ([]Packet, error) {
 	defer f.Close()
 	return ReadCapture(f)
 }
+
+// CaptureFile is an open on-disk capture streamed as a PacketSource.
+// Close it when done (the runner does not own file handles).
+type CaptureFile struct {
+	*CaptureScanner
+	f *os.File
+}
+
+// OpenCapture opens the capture at path for streaming replay in O(1)
+// memory: packets decode record-by-record as the source is drained.
+func OpenCapture(path string) (*CaptureFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewCaptureScanner(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &CaptureFile{CaptureScanner: s, f: f}, nil
+}
+
+// Close releases the underlying file.
+func (c *CaptureFile) Close() error { return c.f.Close() }

@@ -2,6 +2,9 @@ package netflow
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
 	"testing"
 )
 
@@ -110,5 +113,181 @@ func TestCaptureReplayThroughAssembler(t *testing.T) {
 		if orig[i] != back[i] {
 			t.Fatalf("feature %d differs after replay", i)
 		}
+	}
+}
+
+// syntheticCapture writes n deterministic packets to path and returns the
+// expected slice. At n in the hundreds of thousands the file spans
+// multiple megabytes, so the streaming assertions below exercise real
+// buffered-IO record boundaries.
+func syntheticCapture(t *testing.T, path string, n int) []Packet {
+	t.Helper()
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{
+			Time:       float64(i) * 1e-3,
+			SrcIP:      IPv4(10, 0, byte(i>>8), byte(i)),
+			DstIP:      IPv4(172, 16, 0, 10),
+			SrcPort:    uint16(1024 + i%50000),
+			DstPort:    443,
+			Proto:      TCP,
+			Length:     40 + i%1400,
+			HeaderLen:  40,
+			Flags:      ACK,
+			WindowSize: uint16(i),
+		}
+	}
+	if err := SaveCapture(path, pkts); err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+func TestCaptureScannerStreamsMultiMB(t *testing.T) {
+	const n = 200_000 // 32 B/record → ~6.4 MB on disk
+	path := t.TempDir() + "/big.cap"
+	want := syntheticCapture(t, path, n)
+	if fi, err := os.Stat(path); err != nil || fi.Size() < 4<<20 {
+		t.Fatalf("capture too small for the test: %v bytes, err=%v", fi.Size(), err)
+	}
+
+	// Record-by-record streaming decodes the identical packet sequence.
+	src, err := OpenCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Remaining() != n {
+		t.Fatalf("Remaining = %d, want %d", src.Remaining(), n)
+	}
+	var p Packet
+	for i := 0; ; i++ {
+		err := src.Next(&p)
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("EOF after %d packets, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != want[i] {
+			t.Fatalf("packet %d differs: %+v != %+v", i, p, want[i])
+		}
+	}
+	if err := src.Next(&p); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v, want io.EOF", err)
+	}
+}
+
+func TestCaptureScannerConstantMemory(t *testing.T) {
+	// O(1) replay: allocations for a full 200k-packet scan stay a small
+	// constant (scanner + bufio buffer), nowhere near one-per-record.
+	const n = 200_000
+	path := t.TempDir() + "/big.cap"
+	syntheticCapture(t, path, n)
+	allocs := testing.AllocsPerRun(3, func() {
+		src, err := OpenCapture(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		var p Packet
+		total := 0
+		for src.Next(&p) == nil {
+			total++
+		}
+		if total != n {
+			t.Fatalf("scanned %d packets, want %d", total, n)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("streaming scan allocated %.0f times for %d records — not O(1)", allocs, n)
+	}
+}
+
+func TestScanCaptureMatchesReadCapture(t *testing.T) {
+	pkts := samplePackets()
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var scanned []Packet
+	if err := ScanCapture(bytes.NewReader(raw), func(p *Packet) error {
+		scanned = append(scanned, *p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	slurped, err := ReadCapture(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != len(slurped) {
+		t.Fatalf("scan %d packets != read %d", len(scanned), len(slurped))
+	}
+	for i := range scanned {
+		if scanned[i] != slurped[i] {
+			t.Fatalf("packet %d: scan %+v != read %+v", i, scanned[i], slurped[i])
+		}
+	}
+	// Callback errors propagate and stop the scan.
+	stop := errors.New("stop")
+	calls := 0
+	if err := ScanCapture(bytes.NewReader(raw), func(p *Packet) error {
+		calls++
+		return stop
+	}); err != stop {
+		t.Fatalf("ScanCapture error = %v, want the callback's", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring, want 1", calls)
+	}
+}
+
+func TestCaptureScannerTruncated(t *testing.T) {
+	pkts := samplePackets()
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCaptureScanner(bytes.NewReader(buf.Bytes()[:buf.Len()-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	var got error
+	for i := 0; i < len(pkts); i++ {
+		if got = s.Next(&p); got != nil {
+			break
+		}
+	}
+	if got == nil || !errors.Is(got, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated record error = %v, want ErrUnexpectedEOF", got)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	pkts := samplePackets()
+	src := NewSliceSource(pkts)
+	if src.Remaining() != len(pkts) {
+		t.Fatalf("Remaining = %d", src.Remaining())
+	}
+	var p Packet
+	for i := range pkts {
+		if err := src.Next(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p != pkts[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	if err := src.Next(&p); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d", src.Remaining())
 	}
 }

@@ -1,0 +1,53 @@
+package netflow
+
+import "io"
+
+// PacketSource yields a time-ordered packet stream, one packet per call —
+// the ingest half of the serving runtime. A source is consumed exactly
+// once, front to back; packets must come out in capture-time order, the
+// same contract the flow assembler requires.
+//
+// Concrete sources: SliceSource (in-memory captures and generated
+// traffic), CaptureScanner/CaptureFile (the binary capture format,
+// streamed in O(1) memory), and traffic.Replay (the synthetic generator
+// in live-replay mode).
+type PacketSource interface {
+	// Next stores the next packet into *p and returns nil, or returns
+	// io.EOF when the stream ends (leaving *p unspecified), or another
+	// error when the source fails. After a non-nil return the source is
+	// exhausted and must not be polled again.
+	Next(p *Packet) error
+}
+
+// Every concrete source satisfies PacketSource.
+var (
+	_ PacketSource = (*SliceSource)(nil)
+	_ PacketSource = (*CaptureScanner)(nil)
+	_ PacketSource = (*CaptureFile)(nil)
+)
+
+// SliceSource replays an in-memory packet slice. The zero value is an
+// empty source; the slice is read, never mutated.
+type SliceSource struct {
+	packets []Packet
+	next    int
+}
+
+// NewSliceSource returns a source over packets (not copied — the caller
+// must not mutate them while the source is being drained).
+func NewSliceSource(packets []Packet) *SliceSource {
+	return &SliceSource{packets: packets}
+}
+
+// Next copies out the next packet, or returns io.EOF past the end.
+func (s *SliceSource) Next(p *Packet) error {
+	if s.next >= len(s.packets) {
+		return io.EOF
+	}
+	*p = s.packets[s.next]
+	s.next++
+	return nil
+}
+
+// Remaining returns how many packets have not been read yet.
+func (s *SliceSource) Remaining() int { return len(s.packets) - s.next }

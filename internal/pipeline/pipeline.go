@@ -6,7 +6,10 @@
 // The engine core is synchronous and deterministic (testable, and fast
 // enough that HDC inference is never the bottleneck); Concurrent wraps it
 // with a goroutine stage for deployments that want packet ingestion
-// decoupled from classification.
+// decoupled from classification, and Sharded hash-partitions flows across
+// per-core engines. All three implement the Stream contract, and Runner
+// pumps any netflow.PacketSource through any Stream with alerts fanning
+// out to AlertSinks — the serving runtime of ARCHITECTURE.md.
 package pipeline
 
 import (
@@ -97,8 +100,22 @@ type Config struct {
 	Quantize bitpack.Width
 	// OnAlert, when set, receives every alert synchronously.
 	OnAlert func(Alert)
-	// Shards is the worker count of NewSharded (0 selects
-	// runtime.GOMAXPROCS). Ignored by New and NewConcurrent.
+	// Sinks receive every alert after OnAlert, in order. Delivery follows
+	// the engine's alert contract: serialized, in verdict order (per shard
+	// for Sharded). Sinks must not call Feed, Tick, Flush or Close.
+	Sinks []AlertSink
+	// TickInterval is the auto-tick period in capture seconds used by
+	// Runner and Serve: the runner calls Tick as packet timestamps cross
+	// each interval boundary, so idle flows evict and partial micro-batches
+	// drain without caller cooperation. 0 selects 1 s; negative disables
+	// auto-ticking. Engines themselves never tick spontaneously.
+	TickInterval float64
+	// Shards is the worker count of NewSharded (<= 0 selects
+	// runtime.GOMAXPROCS). NewRunner treats sharding as explicit: only
+	// Shards > 1 builds the sharded engine, anything else serves the
+	// deterministic single-core Engine — resolve "one per core" yourself
+	// (runtime.GOMAXPROCS(0), or the facade's WithShards(0)) before
+	// handing the config to a runner. Ignored by New and NewConcurrent.
 	Shards int
 	// ShardBuffer is the bounded ingress buffer per shard for NewSharded
 	// (<= 0 selects 1024). Ignored by New and NewConcurrent.
@@ -214,9 +231,9 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // Feed processes one packet. Packets must arrive in time order.
-func (e *Engine) Feed(p *netflow.Packet) {
+func (e *Engine) Feed(p netflow.Packet) {
 	e.stats.Packets++
-	e.asm.Add(p)
+	e.asm.Add(&p)
 }
 
 // Tick evicts flows idle at capture time now (call periodically on live
@@ -233,6 +250,11 @@ func (e *Engine) Flush() {
 	e.asm.Flush()
 	e.flushBatch()
 }
+
+// Close drains the engine — for the synchronous Engine this is exactly
+// Flush, kept separate so all three engines share the Stream contract
+// (Close ≡ deterministic drain). Idempotent.
+func (e *Engine) Close() { e.Flush() }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -291,8 +313,14 @@ func (e *Engine) verdict(f *netflow.Flow, class int) {
 	e.stats.ByClass[class]++
 	if class != e.cfg.BenignClass {
 		e.stats.Alerts++
-		if e.cfg.OnAlert != nil {
-			e.cfg.OnAlert(Alert{Flow: f, Class: class, ClassName: e.cfg.ClassNames[class], Time: f.LastTime})
+		if e.cfg.OnAlert != nil || len(e.cfg.Sinks) > 0 {
+			a := Alert{Flow: f, Class: class, ClassName: e.cfg.ClassNames[class], Time: f.LastTime}
+			if e.cfg.OnAlert != nil {
+				e.cfg.OnAlert(a)
+			}
+			for _, s := range e.cfg.Sinks {
+				s.Consume(a)
+			}
 		}
 	}
 }
@@ -323,13 +351,48 @@ func (e *Engine) Feedback(f *netflow.Flow, label int) bool {
 	return changed
 }
 
+// feedbacker serializes online feedback against a shared model for the
+// goroutine-backed engines (Concurrent, Sharded), whose inner engines are
+// owned by workers and cannot take Feedback directly.
+type feedbacker struct {
+	mu  sync.Mutex
+	buf []float32
+	ok  int
+}
+
+// apply featurizes, normalizes and applies one labeled flow under the
+// feedback lock, returning whether the model changed.
+func (fb *feedbacker) apply(cfg *Config, f *netflow.Flow, label int) bool {
+	u, ok := cfg.Model.(Updater)
+	if !ok {
+		return false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.buf = f.AppendFeatures(fb.buf[:0])
+	cfg.Normalizer.ApplyVec(fb.buf)
+	changed := u.Update(fb.buf, label)
+	if !changed {
+		fb.ok++
+	}
+	return changed
+}
+
+// okCount reads the not-changed counter under the lock.
+func (fb *feedbacker) okCount() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.ok
+}
+
 // Concurrent decouples packet ingestion from classification with a
-// bounded channel; Close drains and flushes.
+// bounded channel of ordered messages; Close drains and flushes.
 type Concurrent struct {
 	eng  *Engine
-	in   chan netflow.Packet
+	in   chan streamMsg
 	done chan struct{}
 	once sync.Once
+	fb   feedbacker
 }
 
 // NewConcurrent starts the background classification stage with the given
@@ -344,13 +407,13 @@ func NewConcurrent(cfg Config, buffer int) (*Concurrent, error) {
 	}
 	c := &Concurrent{
 		eng:  eng,
-		in:   make(chan netflow.Packet, buffer),
+		in:   make(chan streamMsg, buffer),
 		done: make(chan struct{}),
 	}
 	go func() {
 		defer close(c.done)
-		for p := range c.in {
-			eng.Feed(&p)
+		for m := range c.in {
+			eng.dispatch(m)
 		}
 		eng.Flush()
 	}()
@@ -360,9 +423,19 @@ func NewConcurrent(cfg Config, buffer int) (*Concurrent, error) {
 // Feed enqueues one packet (blocks when the buffer is full — lossless by
 // design; an IDS that silently drops packets hides exactly the traffic an
 // attacker would send).
-func (c *Concurrent) Feed(p netflow.Packet) { c.in <- p }
+func (c *Concurrent) Feed(p netflow.Packet) { c.in <- streamMsg{pkt: p} }
+
+// Tick enqueues an idle-eviction tick at capture time now, ordered with
+// the packets around it.
+func (c *Concurrent) Tick(now float64) { c.in <- streamMsg{tick: now, kind: msgTick} }
+
+// Flush enqueues an end-of-capture flush, ordered with the packets around
+// it: all flows in progress at this point in the feed order complete and
+// classify. It does not wait — Close does.
+func (c *Concurrent) Flush() { c.in <- streamMsg{kind: msgFlush} }
 
 // Close stops ingestion, flushes all flows, and waits for the worker.
+// Idempotent; every call waits for the full drain.
 func (c *Concurrent) Close() {
 	c.once.Do(func() { close(c.in) })
 	<-c.done
@@ -370,4 +443,16 @@ func (c *Concurrent) Close() {
 
 // Stats returns the engine counters. Only call after Close: the worker
 // goroutine owns the engine until then.
-func (c *Concurrent) Stats() Stats { return c.eng.Stats() }
+func (c *Concurrent) Stats() Stats {
+	s := c.eng.Stats()
+	s.FeedbackOK += c.fb.okCount()
+	return s
+}
+
+// Feedback applies one labeled flow to the model when it supports online
+// updates, returning true if the model changed. Safe from any goroutine —
+// including OnAlert callbacks — but concurrent safety against live
+// classification is the model's contract (use core.COWModel).
+func (c *Concurrent) Feedback(f *netflow.Flow, label int) bool {
+	return c.fb.apply(&c.eng.cfg, f, label)
+}

@@ -65,7 +65,7 @@ func TestEngineDetectsAttacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 	}
 	eng.Flush()
 	st := eng.Stats()
@@ -115,7 +115,7 @@ func TestEngineStatsByClassSums(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 	}
 	eng.Flush()
 	st := eng.Stats()
@@ -138,7 +138,7 @@ func TestTickEvictsIdleFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	if eng.Stats().Flows != 0 {
 		t.Fatal("flow completed prematurely")
 	}
@@ -202,7 +202,7 @@ func TestConcurrentMatchesSynchronous(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 	}
 	eng.Flush()
 	syncStats := eng.Stats()
@@ -251,8 +251,8 @@ func TestBatchModeMatchesSync(t *testing.T) {
 		t.Fatal("core.Model did not engage the batch classifier path")
 	}
 	for i := range live.Packets {
-		sync.Feed(&live.Packets[i])
-		batched.Feed(&live.Packets[i])
+		sync.Feed(live.Packets[i])
+		batched.Feed(live.Packets[i])
 	}
 	sync.Flush()
 	batched.Flush()
@@ -277,7 +277,7 @@ func TestBatchModeFlushesOnTick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	eng.Tick(100)
 	st := eng.Stats()
 	if st.Flows != 1 {
@@ -305,7 +305,7 @@ func TestBatchModeFallsBackWithoutBatchClassifier(t *testing.T) {
 	if eng.batch != nil {
 		t.Fatal("static model must not engage batch mode")
 	}
-	eng.Feed(&netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	eng.Flush()
 	if eng.Stats().Flows != 1 {
 		t.Fatal("fallback engine dropped the flow")

@@ -19,7 +19,7 @@ func runCapture(t *testing.T, cfg Config, live []netflow.Packet) Stats {
 		t.Fatal(err)
 	}
 	for i := range live {
-		eng.Feed(&live[i])
+		eng.Feed(live[i])
 	}
 	eng.Flush()
 	return eng.Stats()
@@ -186,7 +186,7 @@ func TestQuantizedCOWFeedbackRequantizes(t *testing.T) {
 	var flows []*netflow.Flow
 	a := netflow.NewAssembler(120, 1, func(f *netflow.Flow) { flows = append(flows, f) })
 	for i := range live.Packets {
-		eng.Feed(&live.Packets[i])
+		eng.Feed(live.Packets[i])
 		a.Add(&live.Packets[i])
 	}
 	eng.Flush()

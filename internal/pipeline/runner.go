@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cyberhd/internal/netflow"
+)
+
+// Runner is the serving loop of Fig 1(a): it pumps a netflow.PacketSource
+// into a Stream under a context, auto-ticking from packet capture
+// timestamps so idle-flow eviction and micro-batch draining never depend
+// on caller cooperation, and closes (drains) the stream when the source
+// ends or the context cancels. Alerts flow to the engine's OnAlert and
+// Config.Sinks as usual — build the stream with NewRunner (or the facade's
+// Serve) to wire sinks in one step.
+//
+// A Runner drives one source into one stream exactly once; build a new
+// one per run. Verdicts are bit-identical to hand-feeding the same
+// packets: auto-ticks only move evictions earlier in the feed order,
+// never change which flows exist or how they featurize (pinned by
+// TestRunnerMatchesDirectDrive).
+type Runner struct {
+	// Stream is the engine being driven. Required.
+	Stream Stream
+	// Source supplies the time-ordered packets. Required.
+	Source netflow.PacketSource
+	// TickInterval overrides the auto-tick period in capture seconds
+	// (see Config.TickInterval): 0 selects 1 s, negative disables.
+	TickInterval float64
+
+	// ran guards single-use: a second Run would re-drive a closed stream.
+	ran bool
+}
+
+// NewRunner builds an engine from cfg and a runner that will pump src
+// through it. Sharding is an explicit choice, not a default: cfg.Shards
+// > 1 builds the flow-sharded multi-core engine with that many shards
+// (stats stay bit-identical, but alert interleaving across shards is
+// scheduling-dependent); any other count builds the synchronous
+// single-core Engine, whose alert order is deterministic run to run.
+// For one shard per core pass runtime.GOMAXPROCS(0) — the facade's
+// WithShards(0) resolves to exactly that. Alert fan-out comes from
+// cfg.OnAlert and cfg.Sinks; the auto-tick period from cfg.TickInterval.
+func NewRunner(cfg Config, src netflow.PacketSource) (*Runner, error) {
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: nil packet source")
+	}
+	var s Stream
+	var err error
+	if cfg.Shards > 1 {
+		s, err = NewSharded(cfg)
+	} else {
+		s, err = New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Stream: s, Source: src, TickInterval: cfg.TickInterval}, nil
+}
+
+// Run pumps packets from the source into the stream until the source is
+// exhausted, the source fails, or ctx is cancelled — whichever comes
+// first — then closes the stream (deterministic drain: every fed packet's
+// flow completes and classifies) and returns its final Stats.
+//
+// On cancellation Run finishes the packet in flight, drains, and returns
+// the stats together with ctx.Err(); on a source failure it drains and
+// returns the wrapped source error. A nil ctx runs to end of source.
+func (r *Runner) Run(ctx context.Context) (Stats, error) {
+	if r.Stream == nil || r.Source == nil {
+		return Stats{}, fmt.Errorf("pipeline: runner needs both a stream and a source")
+	}
+	if r.ran {
+		return Stats{}, fmt.Errorf("pipeline: runner already ran — build a new one per run")
+	}
+	r.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// A paced source (traffic.Replay) sleeps between packets; hand it the
+	// context so cancellation interrupts the sleep instead of waiting out
+	// the inter-packet gap.
+	if cs, ok := r.Source.(interface{ SetContext(context.Context) }); ok {
+		cs.SetContext(ctx)
+	}
+
+	interval := r.TickInterval
+	if interval == 0 {
+		interval = 1
+	}
+	done := ctx.Done()
+	var p netflow.Packet
+	var nextTick float64
+	first := true
+	var err error
+loop:
+	for {
+		select {
+		case <-done:
+			err = ctx.Err()
+			break loop
+		default:
+		}
+		if serr := r.Source.Next(&p); serr != nil {
+			if errors.Is(serr, io.EOF) {
+				break
+			}
+			if cerr := ctx.Err(); cerr != nil && errors.Is(serr, cerr) {
+				err = cerr // a context-aware source aborted its pacing sleep
+				break
+			}
+			err = fmt.Errorf("pipeline: packet source: %w", serr)
+			break
+		}
+		if interval > 0 {
+			if first {
+				nextTick = p.Time + interval
+				first = false
+			}
+			if p.Time >= nextTick {
+				// Tick once at the last interval boundary the stream
+				// slept through. Ticks carry boundary times, not packet
+				// times, so eviction is anchored to the capture clock;
+				// and because nothing runs between packets anyway, the
+				// intermediate boundaries of a long quiet gap would all
+				// be processed back-to-back right here — one tick at the
+				// newest boundary evicts the same flows without pumping
+				// O(gap/interval) no-op messages through the engine.
+				boundary := nextTick + interval*math.Floor((p.Time-nextTick)/interval)
+				r.Stream.Tick(boundary)
+				nextTick = boundary + interval
+			}
+		}
+		r.Stream.Feed(p)
+	}
+	r.Stream.Close()
+	return r.Stream.Stats(), err
+}

@@ -22,10 +22,11 @@ import (
 //
 //   - Ingress is lossless: Feed blocks when a shard's buffer is full, it
 //     never drops. Packets of one flow are processed in feed order.
-//   - OnAlert callbacks are serialized (never concurrent) and arrive in
-//     verdict order within a shard — i.e. per flow key. Interleaving
-//     across shards is unspecified. Callbacks must not call Feed, Tick or
-//     Close (they run on shard goroutines); Feedback is allowed.
+//   - OnAlert callbacks and sinks are serialized (never concurrent) and
+//     arrive in verdict order within a shard — i.e. per flow key.
+//     Interleaving across shards is unspecified. Callbacks and sinks must
+//     not call Feed, Tick, Flush or Close (they run on shard goroutines);
+//     Feedback is allowed.
 //   - Close is deterministic: it stops ingress, drains every shard's
 //     channel, flushes all in-progress flows and pending micro-batches,
 //     and waits for every worker to exit. After Close, Stats is exact:
@@ -41,29 +42,18 @@ type Sharded struct {
 	shards []shardWorker
 	once   sync.Once
 
-	// alertMu serializes OnAlert across shard goroutines.
+	// alertMu serializes OnAlert and sink delivery across shard goroutines.
 	alertMu sync.Mutex
 
-	// fbMu guards the feedback scratch buffer and counter.
-	fbMu  sync.Mutex
-	fbBuf []float32
-	fbOK  int
+	// fb serializes online feedback against the shared model.
+	fb feedbacker
 }
 
 // shardWorker is one per-core engine behind its bounded ingress channel.
 type shardWorker struct {
 	eng  *Engine
-	in   chan shardMsg
+	in   chan streamMsg
 	done chan struct{}
-}
-
-// shardMsg is one ingress item: a packet, or a tick broadcast at capture
-// time tick (tick messages keep their order relative to packets within a
-// shard, so eviction stays deterministic per shard).
-type shardMsg struct {
-	pkt    netflow.Packet
-	tick   float64
-	isTick bool
 }
 
 // NewSharded builds and starts a sharded engine: cfg.Shards workers
@@ -88,12 +78,21 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	}
 	s := &Sharded{cfg: cfg}
 	shardCfg := cfg
-	if cfg.OnAlert != nil {
-		user := cfg.OnAlert
+	if cfg.OnAlert != nil || len(cfg.Sinks) > 0 {
+		// One serialized delivery path wraps both the callback and the
+		// sinks, so the whole alert contract (never concurrent, verdict
+		// order per shard) holds for every consumer.
+		user, sinks := cfg.OnAlert, cfg.Sinks
+		shardCfg.Sinks = nil
 		shardCfg.OnAlert = func(a Alert) {
 			s.alertMu.Lock()
 			defer s.alertMu.Unlock()
-			user(a)
+			if user != nil {
+				user(a)
+			}
+			for _, snk := range sinks {
+				snk.Consume(a)
+			}
 		}
 	}
 	// Build every engine before starting any worker, so a config error
@@ -106,7 +105,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		}
 		s.shards[i] = shardWorker{
 			eng:  eng,
-			in:   make(chan shardMsg, buffer),
+			in:   make(chan streamMsg, buffer),
 			done: make(chan struct{}),
 		}
 	}
@@ -115,11 +114,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		go func() {
 			defer close(w.done)
 			for m := range w.in {
-				if m.isTick {
-					w.eng.Tick(m.tick)
-				} else {
-					w.eng.Feed(&m.pkt)
-				}
+				w.eng.dispatch(m)
 			}
 			w.eng.Flush()
 		}()
@@ -136,7 +131,7 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // arrive in time order per flow. Must not be called after Close.
 func (s *Sharded) Feed(p netflow.Packet) {
 	i := int(p.ShardKey() % uint64(len(s.shards)))
-	s.shards[i].in <- shardMsg{pkt: p}
+	s.shards[i].in <- streamMsg{pkt: p}
 }
 
 // Tick broadcasts an idle-eviction tick at capture time now to every
@@ -144,7 +139,16 @@ func (s *Sharded) Feed(p netflow.Packet) {
 // eviction and micro-batch draining stay deterministic per shard.
 func (s *Sharded) Tick(now float64) {
 	for i := range s.shards {
-		s.shards[i].in <- shardMsg{tick: now, isTick: true}
+		s.shards[i].in <- streamMsg{tick: now, kind: msgTick}
+	}
+}
+
+// Flush broadcasts an end-of-capture flush, ordered with the packets
+// around it per shard: all flows in progress at this point in the feed
+// order complete and classify. It does not wait — Close does.
+func (s *Sharded) Flush() {
+	for i := range s.shards {
+		s.shards[i].in <- streamMsg{kind: msgFlush}
 	}
 }
 
@@ -177,9 +181,7 @@ func (s *Sharded) Stats() Stats {
 			merged.ByClass[c] += v
 		}
 	}
-	s.fbMu.Lock()
-	merged.FeedbackOK += s.fbOK
-	s.fbMu.Unlock()
+	merged.FeedbackOK += s.fb.okCount()
 	return merged
 }
 
@@ -189,17 +191,5 @@ func (s *Sharded) Stats() Stats {
 // against live classification is the model's contract: use core.COWModel
 // for lock-free snapshot reads with atomically swapped updates.
 func (s *Sharded) Feedback(f *netflow.Flow, label int) bool {
-	u, ok := s.cfg.Model.(Updater)
-	if !ok {
-		return false
-	}
-	s.fbMu.Lock()
-	defer s.fbMu.Unlock()
-	s.fbBuf = f.AppendFeatures(s.fbBuf[:0])
-	s.cfg.Normalizer.ApplyVec(s.fbBuf)
-	changed := u.Update(s.fbBuf, label)
-	if !changed {
-		s.fbOK++
-	}
-	return changed
+	return s.fb.apply(&s.cfg, f, label)
 }

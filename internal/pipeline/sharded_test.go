@@ -21,7 +21,7 @@ func TestShardedMatchesSingleEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range live.Packets {
-		single.Feed(&live.Packets[i])
+		single.Feed(live.Packets[i])
 	}
 	single.Flush()
 	want := single.Stats()

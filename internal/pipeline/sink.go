@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// AlertSink consumes the non-benign verdicts of a serving engine — the
+// egress half of the serving runtime. Engines deliver serialized and in
+// verdict order (per shard for Sharded), after any Config.OnAlert
+// callback. A sink must not call back into the engine's Feed, Tick, Flush
+// or Close; Feedback is allowed.
+type AlertSink interface {
+	// Consume receives one alert. Calls are serialized by the engine.
+	Consume(a Alert)
+}
+
+// Every concrete sink satisfies AlertSink.
+var (
+	_ AlertSink = SinkFunc(nil)
+	_ AlertSink = ChanSink(nil)
+	_ AlertSink = (*JSONLSink)(nil)
+	_ AlertSink = (*RateLimitSink)(nil)
+)
+
+// SinkFunc adapts a plain function to an AlertSink.
+type SinkFunc func(Alert)
+
+// Consume calls the function.
+func (f SinkFunc) Consume(a Alert) { f(a) }
+
+// ChanSink delivers alerts into a channel. Sends block when the channel
+// is full — lossless like the rest of the pipeline — so the consumer must
+// keep draining (or buffer generously) or it will stall ingestion.
+type ChanSink chan<- Alert
+
+// Consume sends the alert on the channel.
+func (c ChanSink) Consume(a Alert) { c <- a }
+
+// AlertRecord is the JSON shape JSONLSink writes: the alert's verdict
+// plus the flow identity and summary statistics a downstream consumer
+// (SIEM, notebook, jq) needs, without the full feature vector.
+type AlertRecord struct {
+	// Time is the flow's last-packet time in capture seconds.
+	Time float64 `json:"time"`
+	// Class is the predicted class index; ClassName its human name.
+	Class int `json:"class"`
+	// ClassName is the predicted class's human name.
+	ClassName string `json:"class_name"`
+	// SrcIP and SrcPort identify the flow initiator.
+	SrcIP string `json:"src_ip"`
+	// SrcPort is the initiator's transport port.
+	SrcPort uint16 `json:"src_port"`
+	// DstIP and DstPort identify the responder.
+	DstIP string `json:"dst_ip"`
+	// DstPort is the responder's transport port.
+	DstPort uint16 `json:"dst_port"`
+	// Proto is the transport protocol name.
+	Proto string `json:"proto"`
+	// Packets and Bytes are bidirectional flow totals.
+	Packets int `json:"packets"`
+	// Bytes is the bidirectional byte total.
+	Bytes float64 `json:"bytes"`
+	// Duration is the flow duration in seconds.
+	Duration float64 `json:"duration"`
+}
+
+// recordOf flattens an alert into its wire record.
+func recordOf(a Alert) AlertRecord {
+	f := a.Flow
+	src, dst := f.Key.IPA, f.Key.IPB
+	sp, dp := f.Key.PortA, f.Key.PortB
+	if f.InitSrcIP != src || f.InitSrcPort != sp {
+		src, dst = dst, src
+		sp, dp = dp, sp
+	}
+	return AlertRecord{
+		Time:      a.Time,
+		Class:     a.Class,
+		ClassName: a.ClassName,
+		SrcIP:     ipString(src),
+		SrcPort:   sp,
+		DstIP:     ipString(dst),
+		DstPort:   dp,
+		Proto:     f.Key.Proto.String(),
+		Packets:   f.TotalPackets(),
+		Bytes:     f.TotalBytes(),
+		Duration:  f.Duration(),
+	}
+}
+
+// ipString renders a packed IPv4 address dotted-quad.
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// JSONLSink writes one JSON object per alert (JSON Lines) to a writer —
+// the wire format of AlertRecord. Writes are serialized by the sink's own
+// lock, so one JSONLSink may fan in from several engines; the first write
+// error latches and suppresses further output (check Err after Close of
+// the stream).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink writes alert records to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Consume encodes one alert as a JSON line.
+func (s *JSONLSink) Consume(a Alert) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(recordOf(a))
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RateLimitSink forwards at most Burst alerts per class per Window of
+// capture time to an inner sink, absorbing alert floods (a DoS that
+// triggers ten thousand identical verdicts should page once, not ten
+// thousand times). Suppressed alerts are counted per class, and each
+// window's first delivery after suppression carries no special marking —
+// consumers needing totals read Suppressed.
+type RateLimitSink struct {
+	inner  AlertSink
+	burst  int
+	window float64
+
+	mu         sync.Mutex
+	windows    map[int]*limitWindow
+	suppressed int
+}
+
+// limitWindow tracks one class's current window.
+type limitWindow struct {
+	start float64
+	sent  int
+}
+
+// NewRateLimitSink caps delivery at burst alerts per class per window
+// capture-seconds. burst < 1 is treated as 1; window <= 0 selects 60 s.
+func NewRateLimitSink(inner AlertSink, burst int, window float64) *RateLimitSink {
+	if burst < 1 {
+		burst = 1
+	}
+	if window <= 0 {
+		window = 60
+	}
+	return &RateLimitSink{
+		inner:   inner,
+		burst:   burst,
+		window:  window,
+		windows: make(map[int]*limitWindow),
+	}
+}
+
+// Consume forwards the alert unless its class already used up the current
+// window's burst. Windows are anchored at the first alert that opens them
+// and advance on capture time (Alert.Time).
+func (s *RateLimitSink) Consume(a Alert) {
+	s.mu.Lock()
+	w, ok := s.windows[a.Class]
+	if !ok || a.Time-w.start >= s.window {
+		w = &limitWindow{start: a.Time}
+		s.windows[a.Class] = w
+	}
+	if w.sent >= s.burst {
+		s.suppressed++
+		s.mu.Unlock()
+		return
+	}
+	w.sent++
+	s.mu.Unlock()
+	// Deliver outside the lock: the engine already serializes Consume, and
+	// holding no lock means an inner sink may itself be shared.
+	s.inner.Consume(a)
+}
+
+// Suppressed returns how many alerts rate limiting dropped so far.
+func (s *RateLimitSink) Suppressed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suppressed
+}

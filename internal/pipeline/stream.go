@@ -1,0 +1,86 @@
+package pipeline
+
+import "cyberhd/internal/netflow"
+
+// Stream is the uniform serving contract of the detection engines: one
+// packet-in/alert-out surface implemented identically by Engine (single
+// core, synchronous), Concurrent (one background worker) and Sharded
+// (flow-hash partitioned multi-core). Sources (netflow.PacketSource) feed
+// a Stream and sinks (AlertSink) consume from it, usually through a
+// Runner rather than by hand.
+//
+// Lifecycle and ordering guarantees, uniform across implementations:
+//
+//   - Feed ingests one packet. Packets must arrive in capture-time order
+//     (per flow for Sharded). Ingestion is lossless: a concurrent
+//     implementation blocks when its buffers fill, it never drops.
+//   - Tick and Flush are ordered with packets: their effects apply after
+//     every previously fed packet and before any later one (per shard for
+//     Sharded). On Engine they act synchronously; on Concurrent and
+//     Sharded they enqueue and return.
+//   - Close stops ingestion, completes all in-progress flows, drains every
+//     pending micro-batch and buffered packet, and waits until all of it
+//     has classified — Close ≡ drain, deterministically, on every
+//     implementation. Close is idempotent; Feed/Tick/Flush must not be
+//     called after it.
+//   - Stats is exact after Close. Concurrent and Sharded own their engines
+//     on worker goroutines until then, so mid-stream Stats would race —
+//     only Engine supports it.
+//   - Feedback may be called from any goroutine, including alert
+//     callbacks; concurrent safety against live classification is the
+//     model's contract (use core.COWModel).
+type Stream interface {
+	// Feed ingests one packet in capture-time order.
+	Feed(p netflow.Packet)
+	// Tick evicts flows idle at capture time now and drains partial
+	// micro-batches, bounding verdict latency across quiet stretches.
+	Tick(now float64)
+	// Flush completes all in-progress flows (end of capture) and
+	// classifies everything pending.
+	Flush()
+	// Close stops ingestion and drains deterministically; idempotent.
+	Close()
+	// Stats snapshots the engine counters (exact after Close).
+	Stats() Stats
+	// Feedback applies one labeled flow when the model learns online,
+	// reporting whether the model changed.
+	Feedback(f *netflow.Flow, label int) bool
+}
+
+// All three engines implement the Stream contract.
+var (
+	_ Stream = (*Engine)(nil)
+	_ Stream = (*Concurrent)(nil)
+	_ Stream = (*Sharded)(nil)
+)
+
+// streamMsg is one ingress item for the channel-fed engines (Concurrent,
+// Sharded): a packet, a tick at capture time, or a flush request. Control
+// messages keep their order relative to packets within a channel, so
+// eviction and batch draining stay deterministic per worker.
+type streamMsg struct {
+	pkt  netflow.Packet
+	tick float64
+	kind msgKind
+}
+
+// msgKind discriminates streamMsg.
+type msgKind uint8
+
+const (
+	msgPacket msgKind = iota
+	msgTick
+	msgFlush
+)
+
+// dispatch applies one ingress message to an engine.
+func (e *Engine) dispatch(m streamMsg) {
+	switch m.kind {
+	case msgPacket:
+		e.Feed(m.pkt)
+	case msgTick:
+		e.Tick(m.tick)
+	case msgFlush:
+		e.Flush()
+	}
+}

@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"cyberhd/internal/netflow"
+)
+
+// ReplaySource replays a generated Stream as a netflow.PacketSource — the
+// synthetic generator in live-replay mode. With Speed > 0 delivery is
+// paced against the wall clock so the capture plays back at that multiple
+// of real time (1 = real time, 10 = ten times faster); Speed 0 replays as
+// fast as the consumer can drain. Pacing sleeps between packets, so a
+// paced source turns any Stream-driving loop into a live simulation with
+// genuine quiet periods for auto-ticks to cover.
+type ReplaySource struct {
+	packets []netflow.Packet
+	next    int
+	speed   float64
+
+	started   bool
+	wallStart time.Time
+	capStart  float64
+	ctx       context.Context     // optional: interrupts pacing sleeps
+	sleep     func(time.Duration) // test seam; nil selects the real wait
+}
+
+// ReplaySource satisfies netflow.PacketSource.
+var _ netflow.PacketSource = (*ReplaySource)(nil)
+
+// Replay returns a source over the stream's packets. speed <= 0 replays
+// unpaced; speed > 0 paces packet delivery at that multiple of capture
+// time (1 = real time).
+func Replay(s *Stream, speed float64) *ReplaySource {
+	return &ReplaySource{packets: s.Packets, speed: speed}
+}
+
+// SetContext arms the source's pacing sleeps with a context: a
+// cancellation interrupts the wait and the pending Next returns ctx's
+// error instead of the packet. The Runner calls this automatically for
+// any source that exposes it, so a paced replay aborts promptly instead
+// of waiting out an inter-packet gap. Call before the first Next.
+func (r *ReplaySource) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// Next yields the next packet in capture order, sleeping first when the
+// replay is paced and the packet's capture timestamp is still in the
+// wall-clock future.
+func (r *ReplaySource) Next(p *netflow.Packet) error {
+	if r.next >= len(r.packets) {
+		return io.EOF
+	}
+	pkt := &r.packets[r.next]
+	r.next++
+	if r.speed > 0 {
+		if !r.started {
+			r.started = true
+			r.wallStart = time.Now()
+			r.capStart = pkt.Time
+		}
+		due := r.wallStart.Add(time.Duration(float64(time.Second) * (pkt.Time - r.capStart) / r.speed))
+		if d := time.Until(due); d > 0 {
+			if err := r.wait(d); err != nil {
+				r.next-- // the packet was not delivered
+				return err
+			}
+		}
+	}
+	*p = *pkt
+	return nil
+}
+
+// wait blocks for d, honoring the armed context if any.
+func (r *ReplaySource) wait(d time.Duration) error {
+	if r.sleep != nil {
+		r.sleep(d)
+		return nil
+	}
+	if r.ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// Remaining returns how many packets have not been replayed yet.
+func (r *ReplaySource) Remaining() int { return len(r.packets) - r.next }

@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"cyberhd/internal/netflow"
+)
+
+func TestReplayYieldsCaptureOrder(t *testing.T) {
+	s := Generate(Config{Sessions: 50, Seed: 3})
+	src := Replay(s, 0)
+	if src.Remaining() != len(s.Packets) {
+		t.Fatalf("Remaining = %d, want %d", src.Remaining(), len(s.Packets))
+	}
+	var p netflow.Packet
+	for i := range s.Packets {
+		if err := src.Next(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p != s.Packets[i] {
+			t.Fatalf("packet %d differs from capture order", i)
+		}
+	}
+	if err := src.Next(&p); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestReplayPacesAgainstCaptureClock(t *testing.T) {
+	s := Generate(Config{Sessions: 20, Seed: 3})
+	src := Replay(s, 1000) // 1000x: a multi-second capture replays in ms
+	var slept time.Duration
+	src.sleep = func(d time.Duration) { slept += d }
+	var p netflow.Packet
+	var last float64
+	for src.Next(&p) == nil {
+		last = p.Time
+	}
+	// Total sleep approximates capture duration / speed; the first packet
+	// anchors the clock, so expected wall time is (last-first)/speed.
+	want := time.Duration(float64(time.Second) * (last - s.Packets[0].Time) / 1000)
+	if slept < want/2 {
+		t.Fatalf("paced replay slept %v, want at least ~%v", slept, want)
+	}
+}
+
+func TestReplayCancelInterruptsPacing(t *testing.T) {
+	// Two packets 1000 capture-seconds apart at real-time speed: without
+	// the armed context, Next would sleep ~17 minutes. Cancel after 20 ms
+	// and require a prompt return with the context's error.
+	s := &Stream{Packets: []netflow.Packet{
+		{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 1000, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+	}}
+	src := Replay(s, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	src.SetContext(ctx)
+	var p netflow.Packet
+	if err := src.Next(&p); err != nil { // first packet: no pacing yet
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := src.Next(&p)
+	if err != context.Canceled {
+		t.Fatalf("Next during cancelled pacing = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel took %v to interrupt the pacing sleep", d)
+	}
+}

@@ -1,0 +1,191 @@
+package cyberhd
+
+import (
+	"context"
+	"runtime"
+
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/pipeline"
+	"cyberhd/internal/traffic"
+)
+
+// Serving runtime surface: the Stream/Source/Sink abstractions and the
+// Runner that ties them together (see the "Serving runtime" section of
+// ARCHITECTURE.md). The typical one-call path:
+//
+//	stats, err := det.Serve(ctx, cyberhd.NewSliceSource(capture),
+//	    cyberhd.WithBatchSize(64),
+//	    cyberhd.WithSinks(cyberhd.NewJSONLSink(os.Stdout)))
+type (
+	// Stream is the uniform serving contract (Feed/Tick/Flush/Close/
+	// Stats/Feedback) implemented by Engine, ConcurrentEngine and
+	// ShardedEngine.
+	Stream = pipeline.Stream
+	// ConcurrentEngine decouples ingestion from classification with one
+	// background worker (see pipeline.NewConcurrent).
+	ConcurrentEngine = pipeline.Concurrent
+	// PacketSource yields a time-ordered packet stream (see NewSliceSource,
+	// OpenCapture, ReplayTraffic).
+	PacketSource = netflow.PacketSource
+	// SliceSource replays an in-memory packet slice.
+	SliceSource = netflow.SliceSource
+	// CaptureFile streams an on-disk binary capture in O(1) memory.
+	CaptureFile = netflow.CaptureFile
+	// ReplaySource replays generated traffic, optionally paced against the
+	// wall clock (live-replay mode).
+	ReplaySource = traffic.ReplaySource
+	// AlertSink consumes non-benign verdicts (see SinkFunc, ChanSink,
+	// JSONLSink, RateLimitSink).
+	AlertSink = pipeline.AlertSink
+	// SinkFunc adapts a plain function to an AlertSink.
+	SinkFunc = pipeline.SinkFunc
+	// ChanSink delivers alerts into a channel (blocking, lossless).
+	ChanSink = pipeline.ChanSink
+	// JSONLSink writes one AlertRecord JSON object per alert.
+	JSONLSink = pipeline.JSONLSink
+	// AlertRecord is the JSON shape JSONLSink writes.
+	AlertRecord = pipeline.AlertRecord
+	// RateLimitSink caps deliveries per class per capture-time window.
+	RateLimitSink = pipeline.RateLimitSink
+	// Runner pumps a PacketSource into a Stream under a context.
+	Runner = pipeline.Runner
+)
+
+// Source and sink constructors, re-exported from the implementation
+// packages so the full serving runtime is reachable from the facade.
+var (
+	// NewSliceSource wraps an in-memory packet slice as a PacketSource.
+	NewSliceSource = netflow.NewSliceSource
+	// OpenCapture opens a binary capture for O(1)-memory streaming replay.
+	OpenCapture = netflow.OpenCapture
+	// ReplayTraffic replays a generated TrafficStream, paced at the given
+	// multiple of capture time when speed > 0 (live-replay mode).
+	ReplayTraffic = traffic.Replay
+	// NewJSONLSink writes alert records to a writer, one JSON line each.
+	NewJSONLSink = pipeline.NewJSONLSink
+	// NewRateLimitSink caps delivery at burst alerts per class per window
+	// capture-seconds before forwarding to an inner sink.
+	NewRateLimitSink = pipeline.NewRateLimitSink
+)
+
+// EngineOption composes an EngineConfig — the builder form of engine
+// construction. Options apply in order over the detector's base config
+// (model, normalizer, class names), so later options win; the EngineConfig
+// struct remains the compatible escape hatch for exotic setups.
+type EngineOption func(*EngineConfig)
+
+// WithBatchSize buffers completed flows and classifies them in n-flow
+// micro-batches through the blocked GEMM kernels (0 or 1 classifies every
+// flow immediately). The bounded verdict delay this trades for throughput
+// is cleared by Tick — which Serve issues automatically from capture
+// timestamps — and by Flush.
+func WithBatchSize(n int) EngineOption {
+	return func(cfg *EngineConfig) { cfg.BatchSize = n }
+}
+
+// WithQuantized lowers classification to packed w-bit integer inference
+// (the paper's Table I bitwidths as a live serving mode). Zero serves
+// float32.
+func WithQuantized(w Width) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Quantize = w }
+}
+
+// WithShards serves through the flow-sharded multi-core engine with n
+// shards when n > 1; n == 0 selects one shard per core
+// (runtime.GOMAXPROCS, resolved here so the stored config says what will
+// run). Without this option — or when the count resolves to 1 — Serve
+// uses the single synchronous engine, whose alert order is deterministic
+// run to run; sharded stats are bit-identical but alert interleaving
+// across shards is scheduling-dependent, so sharding is an explicit
+// choice.
+func WithShards(n int) EngineOption {
+	return func(cfg *EngineConfig) {
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		cfg.Shards = n
+	}
+}
+
+// WithShardBuffer bounds each shard's lossless ingress buffer (<= 0
+// selects 1024).
+func WithShardBuffer(n int) EngineOption {
+	return func(cfg *EngineConfig) { cfg.ShardBuffer = n }
+}
+
+// WithBenignClass sets the class index that does not alert (default 0).
+func WithBenignClass(class int) EngineOption {
+	return func(cfg *EngineConfig) { cfg.BenignClass = class }
+}
+
+// WithFlowTimeouts overrides flow assembly: idle seconds end a silent
+// flow, gap seconds split its active periods (defaults: the CIC
+// conventions, 120 s and 1 s).
+func WithFlowTimeouts(idle, gap float64) EngineOption {
+	return func(cfg *EngineConfig) { cfg.IdleTimeout, cfg.ActivityGap = idle, gap }
+}
+
+// WithOnAlert installs a synchronous alert callback (runs before sinks).
+func WithOnAlert(fn func(Alert)) EngineOption {
+	return func(cfg *EngineConfig) { cfg.OnAlert = fn }
+}
+
+// WithSinks appends alert sinks; every alert reaches every sink, in
+// order, serialized per the engine's alert contract.
+func WithSinks(sinks ...AlertSink) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Sinks = append(cfg.Sinks, sinks...) }
+}
+
+// WithTickInterval sets the auto-tick period in capture seconds used by
+// Serve and Runner (0 selects 1 s, negative disables): the runner ticks
+// the engine as packet timestamps cross interval boundaries, so a
+// completed flow's verdict never waits in a micro-batch longer than one
+// interval of capture time.
+func WithTickInterval(seconds float64) EngineOption {
+	return func(cfg *EngineConfig) { cfg.TickInterval = seconds }
+}
+
+// EngineConfig assembles the detector's serving configuration: the
+// trained model, its normalizer and class names, with opts applied in
+// order. Pass the result to NewEngine/NewShardedEngine/NewServeRunner, or
+// adjust fields directly for anything without an option.
+func (d *Detector) EngineConfig(opts ...EngineOption) EngineConfig {
+	cfg := EngineConfig{
+		Model:      d.Model,
+		Normalizer: d.Normalizer,
+		ClassNames: d.ClassNames,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// NewServeRunner builds the engine cfg describes (cfg.Shards > 1 the
+// flow-sharded engine, anything else the deterministic single-core
+// engine — see WithShards) and a Runner that will pump src through it:
+// the assembled-but-not-started form of Serve, for callers that need the
+// Runner (custom contexts, access to the Stream for Feedback) rather
+// than one call.
+func NewServeRunner(cfg EngineConfig, src PacketSource) (*Runner, error) {
+	return pipeline.NewRunner(cfg, src)
+}
+
+// Serve is the one-call serving path: build the engine described by the
+// detector and opts, pump src through it until the source ends or ctx is
+// cancelled (auto-ticking from capture timestamps), drain
+// deterministically, and return the final stats. On cancellation the
+// stats cover everything fed before the cancel and err is ctx.Err().
+func (d *Detector) Serve(ctx context.Context, src PacketSource, opts ...EngineOption) (EngineStats, error) {
+	r, err := NewServeRunner(d.EngineConfig(opts...), src)
+	if err != nil {
+		return EngineStats{}, err
+	}
+	return r.Run(ctx)
+}
+
+// Serve runs det.Serve — the package-level spelling of the one-call
+// serving path.
+func Serve(ctx context.Context, det *Detector, src PacketSource, opts ...EngineOption) (EngineStats, error) {
+	return det.Serve(ctx, src, opts...)
+}

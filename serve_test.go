@@ -1,0 +1,161 @@
+package cyberhd
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// serveDetector trains one CIC detector shared by the serving tests.
+func serveDetector(t *testing.T) *Detector {
+	t.Helper()
+	det, err := TrainDetector(CICIDS2017(1200, 3), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// TestEngineOptionsCompose pins the builder form of EngineConfig: every
+// option lands on its field, over the detector's base config.
+func TestEngineOptionsCompose(t *testing.T) {
+	det := serveDetector(t)
+	onAlert := func(Alert) {}
+	sink := SinkFunc(func(Alert) {})
+	cfg := det.EngineConfig(
+		WithBatchSize(64),
+		WithQuantized(W4),
+		WithShards(8),
+		WithShardBuffer(256),
+		WithBenignClass(0),
+		WithFlowTimeouts(60, 2),
+		WithOnAlert(onAlert),
+		WithSinks(sink),
+		WithTickInterval(5),
+	)
+	if cfg.Model != det.Model || cfg.Normalizer != det.Normalizer {
+		t.Fatal("detector base config not applied")
+	}
+	if cfg.BatchSize != 64 || cfg.Quantize != W4 || cfg.Shards != 8 || cfg.ShardBuffer != 256 {
+		t.Fatalf("engine options not applied: %+v", cfg)
+	}
+	if cfg.IdleTimeout != 60 || cfg.ActivityGap != 2 || cfg.TickInterval != 5 {
+		t.Fatalf("timing options not applied: %+v", cfg)
+	}
+	if cfg.OnAlert == nil || len(cfg.Sinks) != 1 {
+		t.Fatal("alert options not applied")
+	}
+	// WithShards(0) resolves to one shard per core at option time, so the
+	// stored config says what will actually run.
+	if got := det.EngineConfig(WithShards(0)).Shards; got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("WithShards(0) = %d shards, want GOMAXPROCS", got)
+	}
+}
+
+// TestServeMatchesDirectEngine pins the one-call path end to end: Serve
+// over a slice source produces stats bit-identical to hand-driving the
+// engine, and the JSONL sink captures every alert.
+func TestServeMatchesDirectEngine(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+
+	eng, err := NewEngine(det.EngineConfig(WithBatchSize(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		eng.Feed(live.Packets[i])
+	}
+	eng.Close()
+	want := eng.Stats()
+
+	var jsonl bytes.Buffer
+	sink := NewJSONLSink(&jsonl)
+	got, err := det.Serve(context.Background(), NewSliceSource(live.Packets),
+		WithBatchSize(32), WithSinks(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Packets != want.Packets || got.Flows != want.Flows || got.Alerts != want.Alerts {
+		t.Fatalf("Serve %+v != direct %+v", got, want)
+	}
+	for c := range want.ByClass {
+		if got.ByClass[c] != want.ByClass[c] {
+			t.Fatalf("ByClass[%d]: serve %d != direct %d", c, got.ByClass[c], want.ByClass[c])
+		}
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(jsonl.String(), "\n")
+	if lines != got.Alerts {
+		t.Fatalf("JSONL sink wrote %d lines for %d alerts", lines, got.Alerts)
+	}
+	if got.Alerts == 0 {
+		t.Fatal("degenerate capture: no alerts")
+	}
+}
+
+// TestServeShardedQuantized exercises the one-call path at its heaviest:
+// flow-sharded, micro-batched, 8-bit quantized — stats must match the
+// plain float engine bit-for-bit except where quantization changes
+// verdicts, so pin against a sharded direct drive at the same width.
+func TestServeShardedQuantized(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+
+	sh, err := NewShardedEngine(det.EngineConfig(WithShards(4), WithBatchSize(32), WithQuantized(W8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Packets {
+		sh.Feed(live.Packets[i])
+	}
+	sh.Close()
+	want := sh.Stats()
+
+	got, err := Serve(context.Background(), det, NewSliceSource(live.Packets),
+		WithShards(4), WithBatchSize(32), WithQuantized(W8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows != want.Flows || got.Alerts != want.Alerts {
+		t.Fatalf("Serve %+v != direct sharded %+v", got, want)
+	}
+}
+
+// TestServeCancel pins that the facade surfaces cancellation with the
+// partial stats.
+func TestServeCancel(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first packet
+	st, err := det.Serve(ctx, NewSliceSource(live.Packets))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Packets != 0 {
+		t.Fatalf("fed %d packets under a dead context", st.Packets)
+	}
+}
+
+// TestServeReplayTraffic drives Serve from the traffic generator's
+// live-replay source (unpaced) and pins equivalence with the slice source.
+func TestServeReplayTraffic(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+	a, err := det.Serve(context.Background(), NewSliceSource(live.Packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := det.Serve(context.Background(), ReplayTraffic(live, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Packets != b.Packets || a.Flows != b.Flows || a.Alerts != b.Alerts {
+		t.Fatalf("replay source %+v != slice source %+v", b, a)
+	}
+}
