@@ -39,6 +39,7 @@ import (
 	"cyberhd/internal/pipeline"
 	"cyberhd/internal/quantize"
 	"cyberhd/internal/rng"
+	"cyberhd/internal/telemetry"
 	"cyberhd/internal/traffic"
 )
 
@@ -690,6 +691,45 @@ func benchRunnerReplay(b *testing.B, batch int) {
 func BenchmarkRunnerReplay(b *testing.B) {
 	b.Run("sync", func(b *testing.B) { benchRunnerReplay(b, 0) })
 	b.Run("batch64", func(b *testing.B) { benchRunnerReplay(b, 64) })
+}
+
+// ------------------------------------------------- Telemetry (PR 5)
+
+// BenchmarkTelemetryOverhead isolates what live observability costs the
+// serving path. Engines are always instrumented — the atomic counters
+// are the source of truth behind Stats and Snapshot — so the marginal
+// cost is measured directly: hotpath times the exact per-flow counter
+// sequence the engine adds (packet count, flow completion, verdict with
+// histogram observation; zero allocations, a handful of uncontended
+// atomics), engine times the full instrumented pipeline per flow for
+// scale, and snapshot times the scrape-side read that admin endpoints
+// and progress callbacks pay.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("hotpath", func(b *testing.B) {
+		tel := telemetry.New(traffic.LabelNames())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tel.AddPackets(1)
+			tel.FlowCompleted()
+			tel.Verdict(i&7, i&7 != 0, 0.25)
+		}
+	})
+	b.Run("engine", func(b *testing.B) { benchEngine(b, 64) })
+	b.Run("snapshot", func(b *testing.B) {
+		cfg, live := benchStreamShape(b)
+		eng, err := pipeline.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := range live.Packets {
+			eng.Feed(live.Packets[p])
+		}
+		eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = eng.Telemetry().Snapshot()
+		}
+	})
 }
 
 // benchLabeledFlows featurizes the shared capture's ground-truth-labeled

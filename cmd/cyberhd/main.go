@@ -11,6 +11,7 @@
 //	cyberhd detect -shards 0 -batch 64                     # flow-sharded, one engine per core
 //	cyberhd detect -width 4 -batch 64                      # packed 4-bit integer inference
 //	cyberhd detect -capture traffic.cap -jsonl alerts.jsonl # O(1)-memory replay, JSONL alerts
+//	cyberhd detect -metrics :9090                          # live /metrics, /stats, /healthz
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"cyberhd"
 	"cyberhd/internal/bitpack"
@@ -30,6 +32,7 @@ import (
 	"cyberhd/internal/pipeline"
 	"cyberhd/internal/quantize"
 	"cyberhd/internal/rng"
+	"cyberhd/internal/traffic"
 )
 
 func main() {
@@ -227,10 +230,30 @@ func cmdDetect(args []string) error {
 	width := fs.Int("width", 0, "quantized inference bitwidth: 1, 2, 4, 8, 16 or 32 (0 = float32)")
 	tick := fs.Float64("tick", 1, "auto-tick interval in capture seconds (bounds batched-verdict delay; < 0 disables)")
 	jsonl := fs.String("jsonl", "", "append alerts as JSON lines to this file ('-' = stdout)")
+	metricsAddr := fs.String("metrics", "", "serve live /metrics (Prometheus), /stats (JSON) and /healthz on this address for the whole run")
+	metricsLinger := fs.Float64("metrics-linger", 0, "keep the -metrics endpoint up this many seconds after the run (for scrapers that poll final counters)")
+	progress := fs.Float64("progress", 0, "print a progress line to stderr every N capture seconds (0 disables)")
 	verbose := fs.Bool("v", false, "print every alert")
 	fs.Parse(args)
 	if *width != 0 && !bitpack.Width(*width).Valid() {
 		return fmt.Errorf("detect: -width %d not one of %v", *width, bitpack.Widths)
+	}
+
+	// Bind the admin endpoint before the (slow) training step: liveness is
+	// answerable immediately, counters read zero until serving starts.
+	// CIC-derived detectors label verdicts with the traffic labels.
+	classNames := traffic.LabelNames()
+	var tel *cyberhd.Telemetry
+	var metricsSrv *cyberhd.MetricsServer
+	if *metricsAddr != "" {
+		tel = cyberhd.NewTelemetry(classNames)
+		srv, err := cyberhd.ServeMetrics(*metricsAddr, tel)
+		if err != nil {
+			return err
+		}
+		metricsSrv = srv
+		defer metricsSrv.Close()
+		fmt.Printf("metrics endpoint: http://%s/metrics (also /stats, /healthz)\n", srv.Addr())
 	}
 
 	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(*trainSessions, *seed), cyberhd.DefaultConfig())
@@ -261,6 +284,15 @@ func cmdDetect(args []string) error {
 		cyberhd.WithQuantized(cyberhd.Width(*width)),
 		cyberhd.WithShards(*shards),
 		cyberhd.WithTickInterval(*tick),
+	}
+	if tel != nil {
+		opts = append(opts, cyberhd.WithTelemetry(tel))
+	}
+	if *progress > 0 {
+		opts = append(opts, cyberhd.WithProgress(*progress, func(s cyberhd.TelemetrySnapshot) {
+			fmt.Fprintf(os.Stderr, "progress: %d packets, %d flows, %d alerts (%d pending)\n",
+				s.Packets, s.Flows, s.Alerts, s.Pending())
+		}))
 	}
 	if *verbose {
 		opts = append(opts, cyberhd.WithSinks(cyberhd.SinkFunc(func(a cyberhd.Alert) {
@@ -315,6 +347,17 @@ func cmdDetect(args []string) error {
 		}
 	}
 	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
+	if tel != nil {
+		s := tel.Snapshot()
+		if s.Latency.Count > 0 {
+			fmt.Printf("verdict latency (capture time): mean %.3fs over %d verdicts",
+				s.Latency.Sum/float64(s.Latency.Count), s.Latency.Count)
+			if s.Suppressed > 0 {
+				fmt.Printf(", %d alerts rate-limited", s.Suppressed)
+			}
+			fmt.Println()
+		}
+	}
 
 	// Score verdicts against ground truth where available (generated
 	// traffic only — captures carry no labels), using the same inference
@@ -352,6 +395,13 @@ func cmdDetect(args []string) error {
 			fmt.Println("\nconfusion matrix:")
 			fmt.Print(conf)
 		}
+	}
+
+	// Linger last, after every report is printed: scrapers polling final
+	// counters get their window without stalling the operator's output.
+	if metricsSrv != nil && *metricsLinger > 0 {
+		fmt.Printf("metrics endpoint stays up %.0fs (http://%s/metrics)\n", *metricsLinger, metricsSrv.Addr())
+		time.Sleep(time.Duration(*metricsLinger * float64(time.Second)))
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cyberhd/internal/datasets"
 	"cyberhd/internal/netflow"
@@ -57,7 +58,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer cf.Close()
-		tap := &tapSource{src: cf}
+		tap := newTapSource(cf)
 		ds, err = datasets.FromSource("nidsgen", tap, nil, traffic.LabelNames(),
 			func(l traffic.Label) int { return int(l) })
 		if err != nil {
@@ -96,11 +97,24 @@ func main() {
 
 // tapSource forwards a PacketSource while counting packets and tracking
 // the last capture timestamp, so replay statistics don't require holding
-// the packet log in memory.
+// the packet log in memory. A long replay reports progress to stderr
+// every few wall-clock seconds (the clock is sampled every 64 Ki packets
+// to keep the per-packet cost at one counter increment).
 type tapSource struct {
-	src  netflow.PacketSource
-	n    int
-	last float64
+	src     netflow.PacketSource
+	n       int
+	last    float64
+	started time.Time
+	nextAt  time.Time
+}
+
+// progressEvery is the wall-clock cadence of replay progress lines.
+const progressEvery = 5 * time.Second
+
+// newTapSource wraps src with counting and periodic stderr progress.
+func newTapSource(src netflow.PacketSource) *tapSource {
+	now := time.Now()
+	return &tapSource{src: src, started: now, nextAt: now.Add(progressEvery)}
 }
 
 // Next delegates to the wrapped source, recording count and last time.
@@ -109,6 +123,14 @@ func (t *tapSource) Next(p *netflow.Packet) error {
 	if err == nil {
 		t.n++
 		t.last = p.Time
+		if t.n&0xFFFF == 0 {
+			if now := time.Now(); now.After(t.nextAt) {
+				elapsed := now.Sub(t.started).Seconds()
+				fmt.Fprintf(os.Stderr, "replay: %d packets, capture t=%.1fs (%.0f pkt/s)\n",
+					t.n, t.last, float64(t.n)/elapsed)
+				t.nextAt = now.Add(progressEvery)
+			}
+		}
 	}
 	return err
 }

@@ -39,9 +39,21 @@ func main() {
 	// verdicts never stall, drains on end of stream, and returns exact
 	// final stats. (Here the "wire" is the traffic simulator; swap in
 	// cyberhd.OpenCapture for an on-disk log, or any PacketSource.)
+	//
+	// WithProgress is the operator's mid-run view: a telemetry snapshot
+	// every 120 capture-seconds — throughput, verdict counts, and how long
+	// verdicts waited in micro-batch buffers. The same snapshot backs the
+	// HTTP admin endpoint: det.ServeWithMetrics(ctx, ":9090", src, ...)
+	// serves it as Prometheus /metrics and JSON /stats while the run is
+	// live.
 	live := cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: 1500, Seed: 1234})
 	st, err := det.Serve(context.Background(), cyberhd.NewSliceSource(live.Packets),
-		cyberhd.WithSinks(counter, printer))
+		cyberhd.WithSinks(counter, printer),
+		cyberhd.WithBatchSize(32),
+		cyberhd.WithProgress(120, func(s cyberhd.TelemetrySnapshot) {
+			fmt.Printf("  · progress: %d pkts, %d flows, %d alerts (%d suppressed), mean verdict wait %.2fs\n",
+				s.Packets, s.Flows, s.Alerts, s.Suppressed, meanWait(s))
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +64,14 @@ func main() {
 	for name, n := range alertsByClass {
 		fmt.Printf("  %-14s %d\n", name, n)
 	}
+}
+
+// meanWait is the average capture-time delay between a flow completing
+// and its verdict — the cost of micro-batching, straight from the
+// telemetry histogram.
+func meanWait(s cyberhd.TelemetrySnapshot) float64 {
+	if s.Latency.Count == 0 {
+		return 0
+	}
+	return s.Latency.Sum / float64(s.Latency.Count)
 }

@@ -195,8 +195,16 @@ type Timer struct {
 // Start begins (or restarts) an interval.
 func (t *Timer) Start() { t.start = time.Now() }
 
-// Lap records the interval since Start and returns it.
+// Lap records the interval since Start and returns it. Lap on a timer
+// that was never started records a zero-length lap and arms the timer —
+// without the guard it would measure from the zero time.Time, centuries
+// ago — so subsequent laps measure from here.
 func (t *Timer) Lap() time.Duration {
+	if t.start.IsZero() {
+		t.start = time.Now()
+		t.laps = append(t.laps, 0)
+		return 0
+	}
 	d := time.Since(t.start)
 	t.laps = append(t.laps, d)
 	return d
@@ -211,12 +219,17 @@ func (t *Timer) Total() time.Duration {
 	return sum
 }
 
-// Median returns the median lap (0 when none).
+// Median returns the median lap (0 when none): the middle lap for odd
+// counts, the mean of the two middle laps for even counts.
 func (t *Timer) Median() time.Duration {
-	if len(t.laps) == 0 {
+	n := len(t.laps)
+	if n == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), t.laps...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return sorted[len(sorted)/2]
+	if n%2 == 0 {
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return sorted[n/2]
 }

@@ -22,6 +22,7 @@ import (
 	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/quantize"
+	"cyberhd/internal/telemetry"
 )
 
 // Classifier is the model interface the engine drives. core.Model,
@@ -53,18 +54,38 @@ type Alert struct {
 	Time float64
 }
 
-// Stats accumulates engine counters.
+// Stats accumulates engine counters. Engines count through lock-free
+// telemetry collectors, so reading Stats (or Snapshot) is safe from any
+// goroutine at any time; after Close every counter is settled and exact.
 type Stats struct {
 	// Packets counts packets fed.
 	Packets int
-	// Flows counts completed (classified) flows.
+	// Flows counts completed flows handed to classification. Mid-run,
+	// Flows may briefly exceed the ByClass sum by the number of verdicts
+	// still waiting in a micro-batch buffer; after Close they match.
 	Flows int
 	// Alerts counts non-benign verdicts.
 	Alerts int
-	// ByClass counts verdicts per class index; it sums to Flows.
+	// ByClass counts verdicts per class index; it sums to Flows after a
+	// drain.
 	ByClass []int
 	// FeedbackOK counts feedback samples that required no model change.
 	FeedbackOK int
+}
+
+// statsOf converts a telemetry snapshot to the engine counter shape.
+func statsOf(s telemetry.Snapshot) Stats {
+	st := Stats{
+		Packets:    int(s.Packets),
+		Flows:      int(s.Flows),
+		Alerts:     int(s.Alerts),
+		FeedbackOK: int(s.FeedbackOK),
+		ByClass:    make([]int, len(s.ByClass)),
+	}
+	for i, v := range s.ByClass {
+		st.ByClass[i] = int(v)
+	}
+	return st
 }
 
 // Config assembles an Engine.
@@ -110,6 +131,22 @@ type Config struct {
 	// drain without caller cooperation. 0 selects 1 s; negative disables
 	// auto-ticking. Engines themselves never tick spontaneously.
 	TickInterval float64
+	// Telemetry, when set, is the collector the engine records into —
+	// share one collector with a telemetry.Server (or any other observer)
+	// to watch the run live. Its class count must match ClassNames. Nil
+	// builds a private collector, reachable through Stream.Telemetry.
+	// A Sharded engine shares one collector across all shards.
+	Telemetry *telemetry.Collector
+	// Progress, when set, receives telemetry snapshots from Runner and
+	// Serve as packet timestamps cross each ProgressInterval boundary of
+	// the capture clock, plus one final settled snapshot after the drain.
+	// It runs on the runner's goroutine and must not call back into the
+	// stream's Feed, Tick, Flush or Close. Engines ignore it.
+	Progress func(telemetry.Snapshot)
+	// ProgressInterval is the Progress cadence in capture seconds used by
+	// Runner and Serve: 0 selects 10 s, negative disables periodic
+	// snapshots (the final settled snapshot still fires).
+	ProgressInterval float64
 	// Shards is the worker count of NewSharded (<= 0 selects
 	// runtime.GOMAXPROCS). NewRunner treats sharding as explicit: only
 	// Shards > 1 builds the sharded engine, anything else serves the
@@ -124,19 +161,28 @@ type Config struct {
 
 // Engine is the synchronous detection pipeline.
 type Engine struct {
-	cfg   Config
-	asm   *netflow.Assembler
-	stats Stats
-	buf   []float32
+	cfg Config
+	asm *netflow.Assembler
+	tel *telemetry.Collector
+	buf []float32
+
+	// now is the engine's capture clock: the newest packet or tick
+	// timestamp seen. Verdict latency is measured against it.
+	now float64
+	// closed makes post-Close operations defined no-ops (Stream contract).
+	closed bool
 
 	// Micro-batch state: pending features accumulate as rows of pendX
 	// (viewed through pendView at the current fill) and classify into
-	// preds when the batch fills, Tick fires, or Flush drains. All
-	// buffers are preallocated so the steady-state path never allocates.
+	// preds when the batch fills, Tick fires, or Flush drains; pendDone
+	// records the capture time each pending flow completed, so the batch
+	// wait shows up in the verdict-latency histogram. All buffers are
+	// preallocated so the steady-state path never allocates.
 	batch     BatchClassifier
 	pendX     *hdc.Matrix
 	pendView  hdc.Matrix
 	pendFlows []*netflow.Flow
+	pendDone  []float64
 	preds     []int
 	fbBuf     []float32
 	// flushing guards re-entrancy: an OnAlert callback may Feed packets
@@ -205,7 +251,27 @@ func validate(cfg Config) error {
 	if got := len(cfg.Normalizer.Mean); got != netflow.NumFeatures {
 		return fmt.Errorf("pipeline: normalizer expects %d features but flows have %d — the model must be trained on CIC-style flow features (e.g. datasets.CICIDS2017)", got, netflow.NumFeatures)
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.NumClasses() != len(cfg.ClassNames) {
+		return fmt.Errorf("pipeline: telemetry collector has %d classes, config has %d",
+			cfg.Telemetry.NumClasses(), len(cfg.ClassNames))
+	}
 	return nil
+}
+
+// resolveTelemetry fills cfg.Telemetry with a private collector when the
+// caller supplied none, and points every rate-limiting sink at it so
+// suppression totals surface in snapshots. Engines built from the
+// resolved config (each shard of a Sharded) share the one collector.
+func resolveTelemetry(cfg *Config) *telemetry.Collector {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New(cfg.ClassNames)
+	}
+	for _, s := range cfg.Sinks {
+		if rl, ok := s.(*RateLimitSink); ok {
+			rl.attachTelemetry(cfg.Telemetry)
+		}
+	}
+	return cfg.Telemetry
 }
 
 // New validates cfg and builds an engine.
@@ -216,65 +282,95 @@ func New(cfg Config) (*Engine, error) {
 	if err := applyQuantize(&cfg); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
-	e.stats.ByClass = make([]int, len(cfg.ClassNames))
+	e := &Engine{cfg: cfg, tel: resolveTelemetry(&cfg)}
 	e.asm = netflow.NewAssembler(cfg.IdleTimeout, cfg.ActivityGap, e.onFlow)
 	if cfg.BatchSize > 1 {
 		if bc, ok := cfg.Model.(BatchClassifier); ok {
 			e.batch = bc
 			e.pendX = hdc.NewMatrix(cfg.BatchSize, netflow.NumFeatures)
 			e.pendFlows = make([]*netflow.Flow, 0, cfg.BatchSize)
+			e.pendDone = make([]float64, 0, cfg.BatchSize)
 			e.preds = make([]int, cfg.BatchSize)
 		}
 	}
 	return e, nil
 }
 
-// Feed processes one packet. Packets must arrive in time order.
+// Feed processes one packet. Packets must arrive in time order. After
+// Close it is a defined no-op.
 func (e *Engine) Feed(p netflow.Packet) {
-	e.stats.Packets++
+	if e.closed {
+		return
+	}
+	e.tel.AddPackets(1)
+	if p.Time > e.now {
+		e.now = p.Time
+	}
 	e.asm.Add(&p)
 }
 
 // Tick evicts flows idle at capture time now (call periodically on live
 // streams with silence gaps) and drains any partially-filled micro-batch
-// so verdict latency stays bounded during quiet periods.
+// so verdict latency stays bounded during quiet periods. After Close it
+// is a defined no-op.
 func (e *Engine) Tick(now float64) {
+	if e.closed {
+		return
+	}
+	if now > e.now {
+		e.now = now
+	}
 	e.asm.EvictIdle(now)
 	e.flushBatch()
 }
 
 // Flush completes all in-progress flows (end of capture) and classifies
-// everything still pending in the micro-batch buffer.
+// everything still pending in the micro-batch buffer. After Close it is
+// a defined no-op.
 func (e *Engine) Flush() {
+	if e.closed {
+		return
+	}
 	e.asm.Flush()
 	e.flushBatch()
 }
 
 // Close drains the engine — for the synchronous Engine this is exactly
-// Flush, kept separate so all three engines share the Stream contract
-// (Close ≡ deterministic drain). Idempotent.
-func (e *Engine) Close() { e.Flush() }
-
-// Stats returns a snapshot of the engine counters.
-func (e *Engine) Stats() Stats {
-	s := e.stats
-	s.ByClass = append([]int(nil), e.stats.ByClass...)
-	return s
+// Flush — and retires it: later Feed/Tick/Flush calls are defined
+// no-ops, per the Stream contract. Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.Flush()
+	e.closed = true
 }
+
+// Stats returns a snapshot of the engine counters. Safe from any
+// goroutine at any time (counters are atomic); exact after Close.
+func (e *Engine) Stats() Stats { return e.Snapshot() }
+
+// Snapshot reads the engine counters — identical to Stats, named for the
+// Stream contract's any-time read.
+func (e *Engine) Snapshot() Stats { return statsOf(e.tel.Snapshot()) }
+
+// Telemetry returns the engine's collector for richer observation
+// (latency histogram, suppression totals, Prometheus export).
+func (e *Engine) Telemetry() *telemetry.Collector { return e.tel }
 
 // onFlow featurizes, normalizes and classifies one completed flow —
 // immediately in synchronous mode, or once a micro-batch fills in batch
 // mode. Both paths reuse preallocated buffers, so steady-state
 // classification performs no allocations.
 func (e *Engine) onFlow(f *netflow.Flow) {
-	e.stats.Flows++
+	e.tel.FlowCompleted()
 	if e.batch != nil && !e.flushing {
 		i := len(e.pendFlows)
 		c := e.pendX.Cols
 		row := f.AppendFeatures(e.pendX.Data[i*c : i*c : (i+1)*c])
 		e.cfg.Normalizer.ApplyVec(row)
 		e.pendFlows = append(e.pendFlows, f)
+		e.pendDone = append(e.pendDone, e.now)
 		if len(e.pendFlows) == e.cfg.BatchSize {
 			e.flushBatch()
 		}
@@ -285,7 +381,7 @@ func (e *Engine) onFlow(f *netflow.Flow) {
 	}
 	e.buf = f.AppendFeatures(e.buf[:0])
 	e.cfg.Normalizer.ApplyVec(e.buf)
-	e.verdict(f, e.cfg.Model.Predict(e.buf))
+	e.verdict(f, e.cfg.Model.Predict(e.buf), e.now)
 }
 
 // flushBatch classifies all pending flows through one blocked batch
@@ -300,27 +396,28 @@ func (e *Engine) flushBatch() {
 	e.pendView = hdc.Matrix{Rows: n, Cols: e.pendX.Cols, Data: e.pendX.Data[:n*e.pendX.Cols]}
 	e.batch.PredictBatchInto(&e.pendView, e.preds[:n])
 	for i, f := range e.pendFlows {
-		e.verdict(f, e.preds[i])
+		e.verdict(f, e.preds[i], e.pendDone[i])
 	}
 	e.pendFlows = e.pendFlows[:0]
+	e.pendDone = e.pendDone[:0]
 }
 
-// verdict records one classification and raises an alert when non-benign.
-func (e *Engine) verdict(f *netflow.Flow, class int) {
-	if class < 0 || class >= len(e.stats.ByClass) {
+// verdict records one classification — counters plus the capture-time
+// latency since the flow completed at doneAt — and raises an alert when
+// non-benign.
+func (e *Engine) verdict(f *netflow.Flow, class int, doneAt float64) {
+	if class < 0 || class >= len(e.cfg.ClassNames) {
 		class = e.cfg.BenignClass // defensive: never drop a flow on a bad verdict
 	}
-	e.stats.ByClass[class]++
-	if class != e.cfg.BenignClass {
-		e.stats.Alerts++
-		if e.cfg.OnAlert != nil || len(e.cfg.Sinks) > 0 {
-			a := Alert{Flow: f, Class: class, ClassName: e.cfg.ClassNames[class], Time: f.LastTime}
-			if e.cfg.OnAlert != nil {
-				e.cfg.OnAlert(a)
-			}
-			for _, s := range e.cfg.Sinks {
-				s.Consume(a)
-			}
+	alert := class != e.cfg.BenignClass
+	e.tel.Verdict(class, alert, e.now-doneAt)
+	if alert && (e.cfg.OnAlert != nil || len(e.cfg.Sinks) > 0) {
+		a := Alert{Flow: f, Class: class, ClassName: e.cfg.ClassNames[class], Time: f.LastTime}
+		if e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(a)
+		}
+		for _, s := range e.cfg.Sinks {
+			s.Consume(a)
 		}
 	}
 }
@@ -346,18 +443,19 @@ func (e *Engine) Feedback(f *netflow.Flow, label int) bool {
 	e.cfg.Normalizer.ApplyVec(e.fbBuf)
 	changed := u.Update(e.fbBuf, label)
 	if !changed {
-		e.stats.FeedbackOK++
+		e.tel.FeedbackUnchanged()
 	}
 	return changed
 }
 
 // feedbacker serializes online feedback against a shared model for the
 // goroutine-backed engines (Concurrent, Sharded), whose inner engines are
-// owned by workers and cannot take Feedback directly.
+// owned by workers and cannot take Feedback directly. Outcomes count into
+// the engine's telemetry collector.
 type feedbacker struct {
 	mu  sync.Mutex
 	buf []float32
-	ok  int
+	tel *telemetry.Collector
 }
 
 // apply featurizes, normalizes and applies one labeled flow under the
@@ -373,16 +471,9 @@ func (fb *feedbacker) apply(cfg *Config, f *netflow.Flow, label int) bool {
 	cfg.Normalizer.ApplyVec(fb.buf)
 	changed := u.Update(fb.buf, label)
 	if !changed {
-		fb.ok++
+		fb.tel.FeedbackUnchanged()
 	}
 	return changed
-}
-
-// okCount reads the not-changed counter under the lock.
-func (fb *feedbacker) okCount() int {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
-	return fb.ok
 }
 
 // Concurrent decouples packet ingestion from classification with a
@@ -393,6 +484,13 @@ type Concurrent struct {
 	done chan struct{}
 	once sync.Once
 	fb   feedbacker
+
+	// closeMu makes Close safe against in-flight Feed/Tick/Flush: senders
+	// hold the read side, Close takes the write side before closing the
+	// channel, and post-Close sends become defined no-ops instead of
+	// "send on closed channel" panics.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // NewConcurrent starts the background classification stage with the given
@@ -410,6 +508,7 @@ func NewConcurrent(cfg Config, buffer int) (*Concurrent, error) {
 		in:   make(chan streamMsg, buffer),
 		done: make(chan struct{}),
 	}
+	c.fb.tel = eng.tel
 	go func() {
 		defer close(c.done)
 		for m := range c.in {
@@ -420,34 +519,54 @@ func NewConcurrent(cfg Config, buffer int) (*Concurrent, error) {
 	return c, nil
 }
 
+// send enqueues one message unless the stream is closed (no-op then).
+func (c *Concurrent) send(m streamMsg) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed {
+		return
+	}
+	c.in <- m
+}
+
 // Feed enqueues one packet (blocks when the buffer is full — lossless by
 // design; an IDS that silently drops packets hides exactly the traffic an
-// attacker would send).
-func (c *Concurrent) Feed(p netflow.Packet) { c.in <- streamMsg{pkt: p} }
+// attacker would send). After Close it is a defined no-op.
+func (c *Concurrent) Feed(p netflow.Packet) { c.send(streamMsg{pkt: p}) }
 
 // Tick enqueues an idle-eviction tick at capture time now, ordered with
-// the packets around it.
-func (c *Concurrent) Tick(now float64) { c.in <- streamMsg{tick: now, kind: msgTick} }
+// the packets around it. After Close it is a defined no-op.
+func (c *Concurrent) Tick(now float64) { c.send(streamMsg{tick: now, kind: msgTick}) }
 
 // Flush enqueues an end-of-capture flush, ordered with the packets around
 // it: all flows in progress at this point in the feed order complete and
-// classify. It does not wait — Close does.
-func (c *Concurrent) Flush() { c.in <- streamMsg{kind: msgFlush} }
+// classify. It does not wait — Close does. After Close it is a defined
+// no-op.
+func (c *Concurrent) Flush() { c.send(streamMsg{kind: msgFlush}) }
 
 // Close stops ingestion, flushes all flows, and waits for the worker.
 // Idempotent; every call waits for the full drain.
 func (c *Concurrent) Close() {
-	c.once.Do(func() { close(c.in) })
+	c.once.Do(func() {
+		c.closeMu.Lock()
+		c.closed = true
+		c.closeMu.Unlock()
+		close(c.in)
+	})
 	<-c.done
 }
 
-// Stats returns the engine counters. Only call after Close: the worker
-// goroutine owns the engine until then.
-func (c *Concurrent) Stats() Stats {
-	s := c.eng.Stats()
-	s.FeedbackOK += c.fb.okCount()
-	return s
-}
+// Stats returns the engine counters. Safe from any goroutine at any time
+// (counters are atomic); exact after Close.
+func (c *Concurrent) Stats() Stats { return c.eng.Stats() }
+
+// Snapshot reads the engine counters — identical to Stats, named for the
+// Stream contract's any-time read.
+func (c *Concurrent) Snapshot() Stats { return c.eng.Snapshot() }
+
+// Telemetry returns the engine's collector for richer observation
+// (latency histogram, suppression totals, Prometheus export).
+func (c *Concurrent) Telemetry() *telemetry.Collector { return c.eng.tel }
 
 // Feedback applies one labeled flow to the model when it supports online
 // updates, returning true if the model changed. Safe from any goroutine —

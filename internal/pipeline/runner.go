@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
 )
 
 // Runner is the serving loop of Fig 1(a): it pumps a netflow.PacketSource
@@ -31,9 +32,38 @@ type Runner struct {
 	// TickInterval overrides the auto-tick period in capture seconds
 	// (see Config.TickInterval): 0 selects 1 s, negative disables.
 	TickInterval float64
+	// Progress, when set, receives a telemetry snapshot as packet
+	// timestamps cross each ProgressInterval boundary of the capture
+	// clock, plus one final settled snapshot after the drain. It runs on
+	// the Run goroutine and must not call back into the stream's Feed,
+	// Tick, Flush or Close (Feedback and Snapshot are fine).
+	Progress func(telemetry.Snapshot)
+	// ProgressInterval is the Progress cadence in capture seconds: 0
+	// selects 10 s, negative disables periodic snapshots (the final one
+	// still fires).
+	ProgressInterval float64
 
 	// ran guards single-use: a second Run would re-drive a closed stream.
 	ran bool
+}
+
+// Snapshot reads the driven stream's counters — safe from any goroutine
+// while Run is pumping. Zero stats before the runner has a stream.
+func (r *Runner) Snapshot() Stats {
+	if r.Stream == nil {
+		return Stats{}
+	}
+	return r.Stream.Snapshot()
+}
+
+// Telemetry returns the driven stream's collector — the live handle for
+// mid-run observation (snapshots, latency histogram, Prometheus export).
+// Nil before the runner has a stream.
+func (r *Runner) Telemetry() *telemetry.Collector {
+	if r.Stream == nil {
+		return nil
+	}
+	return r.Stream.Telemetry()
 }
 
 // NewRunner builds an engine from cfg and a runner that will pump src
@@ -59,7 +89,10 @@ func NewRunner(cfg Config, src netflow.PacketSource) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Stream: s, Source: src, TickInterval: cfg.TickInterval}, nil
+	return &Runner{
+		Stream: s, Source: src, TickInterval: cfg.TickInterval,
+		Progress: cfg.Progress, ProgressInterval: cfg.ProgressInterval,
+	}, nil
 }
 
 // Run pumps packets from the source into the stream until the source is
@@ -93,9 +126,13 @@ func (r *Runner) Run(ctx context.Context) (Stats, error) {
 	if interval == 0 {
 		interval = 1
 	}
+	progEvery := r.ProgressInterval
+	if progEvery == 0 {
+		progEvery = 10
+	}
 	done := ctx.Done()
 	var p netflow.Packet
-	var nextTick float64
+	var nextTick, nextProg float64
 	first := true
 	var err error
 loop:
@@ -117,11 +154,12 @@ loop:
 			err = fmt.Errorf("pipeline: packet source: %w", serr)
 			break
 		}
+		if first {
+			nextTick = p.Time + interval
+			nextProg = p.Time + progEvery
+			first = false
+		}
 		if interval > 0 {
-			if first {
-				nextTick = p.Time + interval
-				first = false
-			}
 			if p.Time >= nextTick {
 				// Tick once at the last interval boundary the stream
 				// slept through. Ticks carry boundary times, not packet
@@ -137,7 +175,24 @@ loop:
 			}
 		}
 		r.Stream.Feed(p)
+		if r.Progress != nil && progEvery > 0 && p.Time >= nextProg {
+			if tel := r.Stream.Telemetry(); tel != nil {
+				r.Progress(tel.Snapshot())
+			}
+			// Like auto-ticks, progress collapses quiet gaps: one
+			// snapshot at the newest crossed boundary, not one per
+			// elapsed interval.
+			boundary := nextProg + progEvery*math.Floor((p.Time-nextProg)/progEvery)
+			nextProg = boundary + progEvery
+		}
 	}
 	r.Stream.Close()
+	if r.Progress != nil {
+		if tel := r.Stream.Telemetry(); tel != nil {
+			// Final settled snapshot: every counter is exact after the
+			// drain.
+			r.Progress(tel.Snapshot())
+		}
+	}
 	return r.Stream.Stats(), err
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
 )
 
 // Sharded is the multi-core streaming engine: packets are hash-partitioned
@@ -29,8 +30,10 @@ import (
 //     Feedback is allowed.
 //   - Close is deterministic: it stops ingress, drains every shard's
 //     channel, flushes all in-progress flows and pending micro-batches,
-//     and waits for every worker to exit. After Close, Stats is exact:
-//     Packets/Flows/Alerts/ByClass are the sums over shards.
+//     and waits for every worker to exit. Feed/Tick/Flush after Close are
+//     defined no-ops. Stats/Snapshot are safe from any goroutine at any
+//     time (all shards count into one atomic collector); after Close they
+//     are exact.
 //
 // Online learning: Feedback is safe to call concurrently with live
 // classification only when the model's Update is — wrap the model in
@@ -42,11 +45,22 @@ type Sharded struct {
 	shards []shardWorker
 	once   sync.Once
 
+	// tel is the one collector every shard records into, so Snapshot and
+	// Stats are single reads with no per-shard merge.
+	tel *telemetry.Collector
+
 	// alertMu serializes OnAlert and sink delivery across shard goroutines.
 	alertMu sync.Mutex
 
 	// fb serializes online feedback against the shared model.
 	fb feedbacker
+
+	// closeMu makes Close safe against in-flight Feed/Tick/Flush: senders
+	// hold the read side, Close takes the write side before closing the
+	// shard channels, and post-Close sends become defined no-ops instead
+	// of "send on closed channel" panics.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // shardWorker is one per-core engine behind its bounded ingress channel.
@@ -76,7 +90,9 @@ func NewSharded(cfg Config) (*Sharded, error) {
 	if buffer <= 0 {
 		buffer = 1024
 	}
-	s := &Sharded{cfg: cfg}
+	tel := resolveTelemetry(&cfg)
+	s := &Sharded{cfg: cfg, tel: tel}
+	s.fb.tel = tel
 	shardCfg := cfg
 	if cfg.OnAlert != nil || len(cfg.Sinks) > 0 {
 		// One serialized delivery path wraps both the callback and the
@@ -128,27 +144,42 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // Feed routes one packet to its flow's shard. It blocks when that shard's
 // ingress buffer is full (lossless by design: an IDS that silently drops
 // packets hides exactly the traffic an attacker would send). Packets must
-// arrive in time order per flow. Must not be called after Close.
+// arrive in time order per flow. After Close it is a defined no-op.
 func (s *Sharded) Feed(p netflow.Packet) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return
+	}
 	i := int(p.ShardKey() % uint64(len(s.shards)))
 	s.shards[i].in <- streamMsg{pkt: p}
 }
 
 // Tick broadcasts an idle-eviction tick at capture time now to every
 // shard. Each shard processes the tick in order with its packets, so
-// eviction and micro-batch draining stay deterministic per shard.
+// eviction and micro-batch draining stay deterministic per shard. After
+// Close it is a defined no-op.
 func (s *Sharded) Tick(now float64) {
-	for i := range s.shards {
-		s.shards[i].in <- streamMsg{tick: now, kind: msgTick}
-	}
+	s.broadcast(streamMsg{tick: now, kind: msgTick})
 }
 
 // Flush broadcasts an end-of-capture flush, ordered with the packets
 // around it per shard: all flows in progress at this point in the feed
-// order complete and classify. It does not wait — Close does.
+// order complete and classify. It does not wait — Close does. After
+// Close it is a defined no-op.
 func (s *Sharded) Flush() {
+	s.broadcast(streamMsg{kind: msgFlush})
+}
+
+// broadcast sends one control message to every shard unless closed.
+func (s *Sharded) broadcast(m streamMsg) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return
+	}
 	for i := range s.shards {
-		s.shards[i].in <- streamMsg{kind: msgFlush}
+		s.shards[i].in <- m
 	}
 }
 
@@ -157,6 +188,9 @@ func (s *Sharded) Flush() {
 // Idempotent; every call waits for the full drain.
 func (s *Sharded) Close() {
 	s.once.Do(func() {
+		s.closeMu.Lock()
+		s.closed = true
+		s.closeMu.Unlock()
 		for i := range s.shards {
 			close(s.shards[i].in)
 		}
@@ -166,24 +200,18 @@ func (s *Sharded) Close() {
 	}
 }
 
-// Stats returns the merged engine counters: field-wise sums over all
-// shards (ByClass element-wise). Only call after Close: the shard
-// goroutines own their engines until then.
-func (s *Sharded) Stats() Stats {
-	merged := Stats{ByClass: make([]int, len(s.cfg.ClassNames))}
-	for i := range s.shards {
-		st := s.shards[i].eng.Stats()
-		merged.Packets += st.Packets
-		merged.Flows += st.Flows
-		merged.Alerts += st.Alerts
-		merged.FeedbackOK += st.FeedbackOK
-		for c, v := range st.ByClass {
-			merged.ByClass[c] += v
-		}
-	}
-	merged.FeedbackOK += s.fb.okCount()
-	return merged
-}
+// Stats returns the engine counters. Every shard records into one shared
+// telemetry collector, so this is a single atomic read, safe from any
+// goroutine at any time; exact after Close.
+func (s *Sharded) Stats() Stats { return s.Snapshot() }
+
+// Snapshot reads the engine counters — identical to Stats, named for the
+// Stream contract's any-time read.
+func (s *Sharded) Snapshot() Stats { return statsOf(s.tel.Snapshot()) }
+
+// Telemetry returns the collector shared by every shard, for richer
+// observation (latency histogram, suppression totals, Prometheus export).
+func (s *Sharded) Telemetry() *telemetry.Collector { return s.tel }
 
 // Feedback applies one labeled flow to the shared model when it supports
 // online updates, returning true if the model changed. Safe to call from

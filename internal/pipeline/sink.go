@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"cyberhd/internal/telemetry"
 )
 
 // AlertSink consumes the non-benign verdicts of a serving engine — the
@@ -132,9 +134,18 @@ func (s *JSONLSink) Err() error {
 // RateLimitSink forwards at most Burst alerts per class per Window of
 // capture time to an inner sink, absorbing alert floods (a DoS that
 // triggers ten thousand identical verdicts should page once, not ten
-// thousand times). Suppressed alerts are counted per class, and each
-// window's first delivery after suppression carries no special marking —
-// consumers needing totals read Suppressed.
+// thousand times). Suppressed alerts are counted, and each window's first
+// delivery after suppression carries no special marking — consumers
+// needing totals read Suppressed, or the engine's telemetry snapshot
+// (engines wire their collector into any RateLimitSink in Config.Sinks
+// at build time, so suppression shows up on /metrics too).
+//
+// Windows are anchored at the first alert that opens them and advance on
+// capture time (Alert.Time). Alert times need not be monotonic — sharded
+// interleaving can deliver an earlier-capture-time alert after a window
+// opened at a later time; such an alert counts against the already-open
+// window (it never reopens an older one), pinned by
+// TestRateLimitSinkNonMonotonicTimes.
 type RateLimitSink struct {
 	inner  AlertSink
 	burst  int
@@ -143,6 +154,7 @@ type RateLimitSink struct {
 	mu         sync.Mutex
 	windows    map[int]*limitWindow
 	suppressed int
+	tel        *telemetry.Collector
 }
 
 // limitWindow tracks one class's current window.
@@ -180,7 +192,11 @@ func (s *RateLimitSink) Consume(a Alert) {
 	}
 	if w.sent >= s.burst {
 		s.suppressed++
+		tel := s.tel
 		s.mu.Unlock()
+		if tel != nil {
+			tel.AddSuppressed(1)
+		}
 		return
 	}
 	w.sent++
@@ -195,4 +211,13 @@ func (s *RateLimitSink) Suppressed() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.suppressed
+}
+
+// attachTelemetry mirrors future suppressions into an engine's collector.
+// Engines call this at build time for every RateLimitSink in Config.Sinks;
+// a sink shared across engines reports into the last collector attached.
+func (s *RateLimitSink) attachTelemetry(tel *telemetry.Collector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = tel
 }

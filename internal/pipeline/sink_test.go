@@ -127,6 +127,71 @@ func TestRateLimitSinkPerClassWindows(t *testing.T) {
 	}
 }
 
+// TestRateLimitSinkNonMonotonicTimes pins the window semantics under
+// out-of-order capture times: sharded interleaving can deliver an
+// earlier-capture-time alert after a window opened at a later time. Such
+// an alert counts against the already-open window (the anchored start
+// makes the elapsed time negative, which never reads as expiry), and a
+// late-but-pre-window alert never resurrects a previous window's budget.
+func TestRateLimitSinkNonMonotonicTimes(t *testing.T) {
+	var got []Alert
+	sink := NewRateLimitSink(SinkFunc(func(a Alert) { got = append(got, a) }), 2, 10)
+
+	sink.Consume(alertFor(1, 20)) // opens the window at t=20
+	sink.Consume(alertFor(1, 5))  // earlier capture time: same window, second of burst
+	sink.Consume(alertFor(1, 7))  // earlier again: window budget exhausted → suppressed
+	sink.Consume(alertFor(1, 29)) // still inside [20, 30) → suppressed
+	sink.Consume(alertFor(1, 31)) // window rolls at t=31 → delivered
+
+	if sink.Suppressed() != 2 {
+		t.Fatalf("suppressed = %d, want 2", sink.Suppressed())
+	}
+	wantTimes := []float64{20, 5, 31}
+	if len(got) != len(wantTimes) {
+		t.Fatalf("delivered %d alerts, want %d", len(got), len(wantTimes))
+	}
+	for i, w := range wantTimes {
+		if got[i].Time != w {
+			t.Fatalf("delivery %d at t=%v, want t=%v", i, got[i].Time, w)
+		}
+	}
+}
+
+// TestRateLimitSuppressedInTelemetry pins the wiring of suppression
+// totals into the engine's collector: a RateLimitSink in Config.Sinks
+// reports every drop through the telemetry snapshot, mid-run readable,
+// on both the single and the sharded engine.
+func TestRateLimitSuppressedInTelemetry(t *testing.T) {
+	cfg, live := buildModel(t)
+	for _, shards := range []int{1, 4} {
+		delivered := 0
+		// Burst 1 over one giant window: everything after the first alert
+		// per class is suppressed.
+		rl := NewRateLimitSink(SinkFunc(func(a Alert) { delivered++ }), 1, 1e9)
+		c := cfg
+		c.Shards = shards
+		c.Sinks = []AlertSink{rl}
+		r, err := NewRunner(c, netflow.NewSliceSource(live.Packets))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := r.Telemetry().Snapshot()
+		if snap.Suppressed == 0 {
+			t.Fatalf("shards=%d: no suppressions recorded on an alert-heavy capture (alerts=%d)", shards, st.Alerts)
+		}
+		if int(snap.Suppressed) != rl.Suppressed() {
+			t.Fatalf("shards=%d: telemetry suppressed %d != sink total %d", shards, snap.Suppressed, rl.Suppressed())
+		}
+		if delivered+rl.Suppressed() != st.Alerts {
+			t.Fatalf("shards=%d: delivered %d + suppressed %d != alerts %d", shards, delivered, rl.Suppressed(), st.Alerts)
+		}
+	}
+}
+
 // TestEngineFansAlertsToSinks pins Config.Sinks end to end: OnAlert runs
 // first, then every sink in order, for the same alert.
 func TestEngineFansAlertsToSinks(t *testing.T) {

@@ -1,6 +1,9 @@
 package pipeline
 
-import "cyberhd/internal/netflow"
+import (
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
+)
 
 // Stream is the uniform serving contract of the detection engines: one
 // packet-in/alert-out surface implemented identically by Engine (single
@@ -21,27 +24,38 @@ import "cyberhd/internal/netflow"
 //   - Close stops ingestion, completes all in-progress flows, drains every
 //     pending micro-batch and buffered packet, and waits until all of it
 //     has classified — Close ≡ drain, deterministically, on every
-//     implementation. Close is idempotent; Feed/Tick/Flush must not be
-//     called after it.
-//   - Stats is exact after Close. Concurrent and Sharded own their engines
-//     on worker goroutines until then, so mid-stream Stats would race —
-//     only Engine supports it.
+//     implementation. Close is idempotent, and Feed/Tick/Flush after Close
+//     are defined no-ops (they drop silently — never a panic).
+//   - Stats and Snapshot are safe from any goroutine at any time: engines
+//     count through lock-free telemetry collectors, so a mid-run read
+//     never races (pinned by TestSnapshotDuringLiveFeedRaceFree). A mid-run
+//     read is eventually consistent across counters (see the telemetry
+//     package's consistency contract); after Close it is exact, and
+//     Snapshot equals Stats bit for bit at all times.
 //   - Feedback may be called from any goroutine, including alert
 //     callbacks; concurrent safety against live classification is the
 //     model's contract (use core.COWModel).
 type Stream interface {
-	// Feed ingests one packet in capture-time order.
+	// Feed ingests one packet in capture-time order. No-op after Close.
 	Feed(p netflow.Packet)
 	// Tick evicts flows idle at capture time now and drains partial
 	// micro-batches, bounding verdict latency across quiet stretches.
+	// No-op after Close.
 	Tick(now float64)
 	// Flush completes all in-progress flows (end of capture) and
-	// classifies everything pending.
+	// classifies everything pending. No-op after Close.
 	Flush()
 	// Close stops ingestion and drains deterministically; idempotent.
 	Close()
-	// Stats snapshots the engine counters (exact after Close).
+	// Stats snapshots the engine counters — safe from any goroutine at
+	// any time, exact after Close.
 	Stats() Stats
+	// Snapshot is Stats under the name the live-observability surface
+	// uses; the two are identical at all times.
+	Snapshot() Stats
+	// Telemetry returns the engine's collector — the richer live surface
+	// (latency histogram, suppression totals, Prometheus export).
+	Telemetry() *telemetry.Collector
 	// Feedback applies one labeled flow when the model learns online,
 	// reporting whether the model changed.
 	Feedback(f *netflow.Flow, label int) bool

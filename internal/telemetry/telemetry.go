@@ -1,0 +1,199 @@
+// Package telemetry is the observability layer of the serving runtime:
+// lock-free atomic counters for everything the engines process (packets,
+// completed flows, per-class verdicts, alerts, suppressed alerts, online
+// feedback) plus a fixed-bucket histogram of capture-time verdict latency
+// — the delay between a flow completing and its verdict being issued,
+// which is exactly the batch/tick delay the micro-batching engines trade
+// for throughput.
+//
+// One Collector is shared by an engine and everything observing it: every
+// write is a single atomic add, so the hot per-flow path costs a handful
+// of uncontended atomics and zero allocations (pinned by
+// TestCollectorHotPathAllocFree), and Snapshot may be called from any
+// goroutine at any time, including while packets are being fed.
+//
+// Consistency contract: individual counters are exact and monotonic, but
+// a mid-run Snapshot is not a cross-counter transaction — it may observe
+// a flow that has completed (Flows) whose verdict has not landed yet
+// (ByClass), so mid-run Flows − ΣByClass is the number of verdicts
+// pending in micro-batch buffers. Once the engine has drained (Close),
+// every counter is settled and a Snapshot equals the engine's final
+// Stats bit for bit.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the verdict-latency histogram's upper bounds in
+// capture seconds, chosen around the serving runtime's latency sources:
+// sub-tick micro-batch waits at the low end (default TickInterval is
+// 1 s), idle-eviction sweeps up to the CIC 120 s idle timeout at the top.
+// An implicit +Inf bucket catches everything beyond the last bound.
+var LatencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 15, 60, 120}
+
+// NumLatencyBuckets is the number of histogram counters, including the
+// implicit +Inf overflow bucket.
+const NumLatencyBuckets = len(LatencyBuckets) + 1
+
+// Collector accumulates serving counters with lock-free atomics. Build
+// one with New; the zero value is not usable (per-class counters are
+// sized to the class list). All methods are safe from any goroutine.
+type Collector struct {
+	packets    atomic.Int64
+	flows      atomic.Int64
+	alerts     atomic.Int64
+	feedbackOK atomic.Int64
+	suppressed atomic.Int64
+	byClass    []atomic.Int64
+	classes    []string
+
+	// latency histogram: per-bucket counts (not cumulative), plus the
+	// observation sum in capture microseconds so it can be an integer add.
+	latCounts   [NumLatencyBuckets]atomic.Int64
+	latSumMicro atomic.Int64
+}
+
+// New builds a collector for the given class names (the engine's verdict
+// labels, copied).
+func New(classes []string) *Collector {
+	return &Collector{
+		byClass: make([]atomic.Int64, len(classes)),
+		classes: append([]string(nil), classes...),
+	}
+}
+
+// NumClasses returns the number of per-class verdict counters.
+func (c *Collector) NumClasses() int { return len(c.byClass) }
+
+// Classes returns a copy of the class names the per-class counters are
+// labeled with.
+func (c *Collector) Classes() []string { return append([]string(nil), c.classes...) }
+
+// AddPackets counts n ingested packets.
+func (c *Collector) AddPackets(n int) { c.packets.Add(int64(n)) }
+
+// FlowCompleted counts one completed flow (handed to classification; its
+// verdict may land later in batch mode).
+func (c *Collector) FlowCompleted() { c.flows.Add(1) }
+
+// Verdict records one classification: the per-class counter, the alert
+// counter when the verdict is non-benign, and the capture-time latency
+// between flow completion and this verdict. Out-of-range classes and
+// non-finite latencies are ignored defensively; negative latencies clamp
+// to zero (a tick timestamp may trail a packet already fed).
+func (c *Collector) Verdict(class int, alert bool, latencySeconds float64) {
+	if class >= 0 && class < len(c.byClass) {
+		c.byClass[class].Add(1)
+	}
+	if alert {
+		c.alerts.Add(1)
+	}
+	c.ObserveLatency(latencySeconds)
+}
+
+// ObserveLatency records one verdict-latency observation in capture
+// seconds. NaN/Inf are dropped; negatives clamp to zero.
+func (c *Collector) ObserveLatency(seconds float64) {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return
+	}
+	if seconds < 0 {
+		seconds = 0
+	}
+	i := 0
+	for i < len(LatencyBuckets) && seconds > LatencyBuckets[i] {
+		i++
+	}
+	c.latCounts[i].Add(1)
+	c.latSumMicro.Add(int64(seconds * 1e6))
+}
+
+// FeedbackUnchanged counts one feedback sample that required no model
+// change (the verdict was already correct).
+func (c *Collector) FeedbackUnchanged() { c.feedbackOK.Add(1) }
+
+// AddSuppressed counts n alerts dropped by rate limiting before reaching
+// their sink.
+func (c *Collector) AddSuppressed(n int) { c.suppressed.Add(int64(n)) }
+
+// Snapshot is one point-in-time read of a Collector — see the package
+// consistency contract for what a mid-run snapshot guarantees.
+type Snapshot struct {
+	// Packets counts packets fed to the engine.
+	Packets int64
+	// Flows counts completed flows handed to classification.
+	Flows int64
+	// Alerts counts non-benign verdicts.
+	Alerts int64
+	// FeedbackOK counts feedback samples that required no model change.
+	FeedbackOK int64
+	// Suppressed counts alerts dropped by rate limiting.
+	Suppressed int64
+	// Classes are the verdict labels for ByClass (shared, do not modify).
+	Classes []string
+	// ByClass counts verdicts per class index.
+	ByClass []int64
+	// Latency is the verdict-latency histogram.
+	Latency LatencySnapshot
+}
+
+// LatencySnapshot is the verdict-latency histogram at snapshot time.
+type LatencySnapshot struct {
+	// Bounds are the bucket upper limits in capture seconds (shared, do
+	// not modify); Counts has one extra entry for the +Inf bucket.
+	Bounds []float64
+	// Counts are per-bucket observation counts (not cumulative).
+	Counts []int64
+	// Sum is the total of all observations in capture seconds.
+	Sum float64
+	// Count is the total number of observations.
+	Count int64
+}
+
+// Pending returns how many completed flows await a verdict (mid-run this
+// is the micro-batch fill; after a drain it is zero).
+func (s Snapshot) Pending() int64 {
+	var v int64
+	for _, n := range s.ByClass {
+		v += n
+	}
+	if p := s.Flows - v; p > 0 {
+		return p
+	}
+	return 0
+}
+
+// Snapshot reads every counter. Safe from any goroutine at any time;
+// allocates the slices it returns, so it belongs on scrape/progress
+// cadence, not per packet.
+//
+// Counters are loaded in dependency order — derived counters before the
+// counters that precede them on the write path (alerts before per-class
+// verdicts, verdicts before flows, flows before packets) — so the
+// mid-run invariants hold in every snapshot: Alerts ≤ ΣByClass ≤ Flows,
+// even while writers are mid-flight between two adds.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Suppressed: c.suppressed.Load(),
+		FeedbackOK: c.feedbackOK.Load(),
+		Alerts:     c.alerts.Load(),
+		Classes:    c.classes,
+		ByClass:    make([]int64, len(c.byClass)),
+	}
+	for i := range c.byClass {
+		s.ByClass[i] = c.byClass[i].Load()
+	}
+	s.Latency.Bounds = LatencyBuckets[:]
+	s.Latency.Counts = make([]int64, NumLatencyBuckets)
+	for i := range c.latCounts {
+		n := c.latCounts[i].Load()
+		s.Latency.Counts[i] = n
+		s.Latency.Count += n
+	}
+	s.Latency.Sum = float64(c.latSumMicro.Load()) / 1e6
+	s.Flows = c.flows.Load()
+	s.Packets = c.packets.Load()
+	return s
+}

@@ -6,6 +6,7 @@ import (
 
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/pipeline"
+	"cyberhd/internal/telemetry"
 	"cyberhd/internal/traffic"
 )
 
@@ -49,6 +50,16 @@ type (
 	RateLimitSink = pipeline.RateLimitSink
 	// Runner pumps a PacketSource into a Stream under a context.
 	Runner = pipeline.Runner
+	// Telemetry is the lock-free counter collector every engine records
+	// into — share one (WithTelemetry) to observe a run live from any
+	// goroutine, or read it through Stream.Telemetry / Runner.Telemetry.
+	Telemetry = telemetry.Collector
+	// TelemetrySnapshot is one point-in-time read of a Telemetry
+	// collector: counters plus the verdict-latency histogram.
+	TelemetrySnapshot = telemetry.Snapshot
+	// MetricsServer is a running admin endpoint serving /metrics
+	// (Prometheus text format), /stats (JSON) and /healthz.
+	MetricsServer = telemetry.Server
 )
 
 // Source and sink constructors, re-exported from the implementation
@@ -66,6 +77,12 @@ var (
 	// NewRateLimitSink caps delivery at burst alerts per class per window
 	// capture-seconds before forwarding to an inner sink.
 	NewRateLimitSink = pipeline.NewRateLimitSink
+	// NewTelemetry builds a collector for the given class names — pass it
+	// to WithTelemetry and a ServeMetrics endpoint to watch a run live.
+	NewTelemetry = telemetry.New
+	// ServeMetrics starts the admin endpoint (/metrics, /stats, /healthz)
+	// for a collector on addr; close the returned server when done.
+	ServeMetrics = telemetry.ListenAndServe
 )
 
 // EngineOption composes an EngineConfig — the builder form of engine
@@ -136,6 +153,23 @@ func WithSinks(sinks ...AlertSink) EngineOption {
 	return func(cfg *EngineConfig) { cfg.Sinks = append(cfg.Sinks, sinks...) }
 }
 
+// WithTelemetry makes the engine record into t instead of a private
+// collector — the way to share one collector between a running engine
+// and an observer such as a ServeMetrics endpoint. t's class count must
+// match the detector's. A sharded engine shares t across all shards.
+func WithTelemetry(t *Telemetry) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Telemetry = t }
+}
+
+// WithProgress installs a live-progress callback for Serve and Runner:
+// fn receives a telemetry snapshot as packet timestamps cross each
+// every-capture-seconds boundary (0 selects 10 s), plus one final
+// settled snapshot after the drain. fn runs on the serving goroutine and
+// must not call back into the engine.
+func WithProgress(every float64, fn func(TelemetrySnapshot)) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Progress, cfg.ProgressInterval = fn, every }
+}
+
 // WithTickInterval sets the auto-tick period in capture seconds used by
 // Serve and Runner (0 selects 1 s, negative disables): the runner ticks
 // the engine as packet timestamps cross interval boundaries, so a
@@ -188,4 +222,27 @@ func (d *Detector) Serve(ctx context.Context, src PacketSource, opts ...EngineOp
 // serving path.
 func Serve(ctx context.Context, det *Detector, src PacketSource, opts ...EngineOption) (EngineStats, error) {
 	return det.Serve(ctx, src, opts...)
+}
+
+// ServeWithMetrics is Serve plus a live admin endpoint: it binds addr,
+// serves /metrics (Prometheus text format), /stats (JSON) and /healthz
+// for the duration of the run, and closes the endpoint when the run
+// ends. The engine and the endpoint share one collector — pass your own
+// with WithTelemetry to keep scraping after the run, or to aggregate
+// several runs on one endpoint.
+func (d *Detector) ServeWithMetrics(ctx context.Context, addr string, src PacketSource, opts ...EngineOption) (EngineStats, error) {
+	cfg := d.EngineConfig(opts...)
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New(cfg.ClassNames)
+	}
+	srv, err := telemetry.ListenAndServe(addr, cfg.Telemetry)
+	if err != nil {
+		return EngineStats{}, err
+	}
+	defer srv.Close()
+	r, err := NewServeRunner(cfg, src)
+	if err != nil {
+		return EngineStats{}, err
+	}
+	return r.Run(ctx)
 }

@@ -3,6 +3,7 @@ package cyberhd
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"runtime"
 	"strings"
 	"testing"
@@ -157,5 +158,77 @@ func TestServeReplayTraffic(t *testing.T) {
 	}
 	if a.Packets != b.Packets || a.Flows != b.Flows || a.Alerts != b.Alerts {
 		t.Fatalf("replay source %+v != slice source %+v", b, a)
+	}
+}
+
+// TestServeWithMetrics runs the one-call metrics path: the admin endpoint
+// is scrapeable during the run (healthz) and its final counters match the
+// returned stats exactly; Prometheus output is well-formed.
+func TestServeWithMetrics(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 300, Seed: 77})
+
+	// Share a collector so counters stay readable after the endpoint
+	// closed with the run.
+	tel := NewTelemetry(det.ClassNames)
+	var snaps []TelemetrySnapshot
+	st, err := det.ServeWithMetrics(context.Background(), "127.0.0.1:0", NewSliceSource(live.Packets),
+		WithTelemetry(tel), WithBatchSize(16),
+		WithProgress(5, func(s TelemetrySnapshot) { snaps = append(snaps, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tel.Snapshot()
+	if int(final.Packets) != st.Packets || int(final.Flows) != st.Flows || int(final.Alerts) != st.Alerts {
+		t.Fatalf("collector %+v != stats %+v", final, st)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	if last := snaps[len(snaps)-1]; last.Packets != final.Packets {
+		t.Fatalf("final progress snapshot %d packets, want %d", last.Packets, final.Packets)
+	}
+	var prom strings.Builder
+	if err := final.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "cyberhd_flows_total") {
+		t.Fatalf("prometheus output missing flows:\n%s", prom.String())
+	}
+
+	// The live endpoint itself: scrape while a (tiny) run is in flight —
+	// ListenAndServe guarantees the listener is accepting before Serve
+	// pumps, so /healthz during the run can never miss.
+	tel2 := NewTelemetry(det.ClassNames)
+	srv, err := ServeMetrics("127.0.0.1:0", tel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Serve(context.Background(), NewSliceSource(live.Packets), WithTelemetry(tel2)); err != nil {
+		t.Fatal(err)
+	}
+	if tel2.Snapshot().Packets == 0 {
+		t.Fatal("shared collector saw no traffic")
+	}
+}
+
+// TestServeWithMetricsBadAddr pins the error path: an unbindable address
+// fails up front instead of serving blind.
+func TestServeWithMetricsBadAddr(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 10, Seed: 1})
+	if _, err := det.ServeWithMetrics(context.Background(), "256.0.0.1:99999", NewSliceSource(live.Packets)); err == nil {
+		t.Fatal("bound an impossible address")
 	}
 }
