@@ -857,6 +857,131 @@ func TestWriteBench3JSON(t *testing.T) {
 	t.Logf("BENCH_3.json:\n%s", buf)
 }
 
+// TestWriteBench4JSON re-measures the TestWriteBench3JSON sweep on the
+// vectorized packed kernels (PR 6) and snapshots it to BENCH_4.json with
+// the kernel dispatch report embedded, so the numbers are attributable to
+// a code path. Because every packed kernel is pinned bit-identical to its
+// scalar reference, the accuracy column must equal BENCH_3.json exactly —
+// asserted here against the committed file; only the throughput column is
+// allowed to move. Gated like TestWriteBenchJSON:
+//
+//	CYBERHD_BENCH_JSON=1 go test -run TestWriteBench4JSON -v .
+func TestWriteBench4JSON(t *testing.T) {
+	if os.Getenv("CYBERHD_BENCH_JSON") == "" {
+		t.Skip("set CYBERHD_BENCH_JSON=1 to write BENCH_4.json")
+	}
+	if err := ensureBenchStream(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, live := benchStream.cfg, benchStream.live
+	m := cfg.Model.(*core.Model)
+	x, y := benchLabeledFlows(t)
+	accuracy := func(preds []int) float64 {
+		correct := 0
+		for i, p := range preds {
+			if p == y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(y))
+	}
+
+	// The accuracy baseline: the packed kernels changed wholesale in PR 6
+	// but are pinned bit-identical to their references, so verdicts — and
+	// therefore the accuracy column — must not move from BENCH_3.
+	var prior struct {
+		Float32 struct {
+			Accuracy float64 `json:"accuracy"`
+		} `json:"float32"`
+		Widths map[string]struct {
+			Accuracy float64 `json:"accuracy"`
+		} `json:"widths"`
+	}
+	if buf, err := os.ReadFile("BENCH_3.json"); err == nil {
+		if err := json.Unmarshal(buf, &prior); err != nil {
+			t.Fatalf("BENCH_3.json unreadable: %v", err)
+		}
+	}
+
+	// Per-width batch-vs-sync verdict bit-identity over the full capture,
+	// now exercising the assembly dispatch end to end.
+	runStats := func(c pipeline.Config) pipeline.Stats {
+		eng, err := pipeline.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live.Packets {
+			eng.Feed(live.Packets[i])
+		}
+		eng.Flush()
+		return eng.Stats()
+	}
+	for _, w := range benchQuantWidths {
+		qc := cfg
+		qc.Quantize = w
+		sync := runStats(qc)
+		qc.BatchSize = 64
+		batch := runStats(qc)
+		if sync.Flows != batch.Flows || sync.Alerts != batch.Alerts {
+			t.Fatalf("w=%d: batch flows/alerts %d/%d != sync %d/%d", w, batch.Flows, batch.Alerts, sync.Flows, sync.Alerts)
+		}
+		for c := range sync.ByClass {
+			if sync.ByClass[c] != batch.ByClass[c] {
+				t.Fatalf("w=%d: ByClass[%d] batch %d != sync %d", w, c, batch.ByClass[c], sync.ByClass[c])
+			}
+		}
+	}
+
+	floatAcc := accuracy(m.PredictBatch(x))
+	if prior.Widths != nil && floatAcc != prior.Float32.Accuracy {
+		t.Errorf("float32 accuracy %v != BENCH_3 %v", floatAcc, prior.Float32.Accuracy)
+	}
+	floatRes := testing.Benchmark(func(b *testing.B) { benchEngine(b, 64) })
+	k := Kernels()
+	report := map[string]any{
+		"shape":      "BENCH_1 engine shape: CICIDS2017(1500)-trained 512-dim model, 400-session live capture, micro-batch 64",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"kernels":    map[string]string{"float": k.Float, "packed": k.Packed},
+		"float32": map[string]any{
+			"flows_per_sec":     floatRes.Extra["flows/s"],
+			"accuracy":          floatAcc,
+			"class_memory_bits": m.NumClasses() * m.Dim() * 32,
+		},
+		"batch_vs_sync_bit_identical": true, // asserted above at every width
+		"accuracy_equals_bench3":      true, // asserted above per width
+		"note":                        "flows/s includes packet ingest + flow assembly + featurization; classification is the quantized stage. Accuracy is scored on the capture's ground-truth-labeled flows.",
+	}
+	widths := map[string]any{}
+	for _, w := range benchQuantWidths {
+		w := w
+		q, err := quantize.FromCore(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := accuracy(q.PredictBatch(x))
+		key := fmt.Sprintf("%d", w)
+		if p, ok := prior.Widths[key]; ok && acc != p.Accuracy {
+			t.Errorf("w=%d: accuracy %v != BENCH_3 %v — bit-identical kernels must not change verdicts", w, acc, p.Accuracy)
+		}
+		r := testing.Benchmark(func(b *testing.B) { benchQuantEngine(b, w, 64) })
+		widths[key] = map[string]any{
+			"flows_per_sec":     r.Extra["flows/s"],
+			"speedup_vs_float":  r.Extra["flows/s"] / floatRes.Extra["flows/s"],
+			"accuracy":          acc,
+			"class_memory_bits": q.MemoryBits(),
+		}
+	}
+	report["widths"] = widths
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_4.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_4.json:\n%s", buf)
+}
+
 // TestWriteBenchJSON runs the kernel benchmarks and snapshots the results
 // to BENCH_1.json. Gated behind an env var so plain `go test ./...` stays
 // fast; run with:

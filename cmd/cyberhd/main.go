@@ -261,6 +261,8 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	fmt.Println("detector:", det)
+	k := cyberhd.Kernels()
+	fmt.Printf("kernels: float=%s packed=%s\n", k.Float, k.Packed)
 
 	// Ingest: an O(1)-memory capture replay, or generated live traffic.
 	var src cyberhd.PacketSource

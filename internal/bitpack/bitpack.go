@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // Width is a supported element bitwidth.
@@ -194,13 +195,7 @@ func Quantize(x []float32, w Width) *Vector {
 // producing exactly the values a per-element Set loop would: the packed
 // query path runs once per streamed flow, so this is a hot kernel.
 func quantizeBody(x []float32, w Width, v *Vector) {
-	var maxAbs float64
-	for _, f := range x {
-		a := math.Abs(float64(f))
-		if a > maxAbs {
-			maxAbs = a
-		}
-	}
+	maxAbs := maxAbsOf(x)
 	if maxAbs == 0 {
 		v.Scale = 1
 		if w == W1 {
@@ -217,10 +212,147 @@ func quantizeBody(x []float32, w Width, v *Vector) {
 	maxQ := w.MaxQ()
 	scale := maxAbs / float64(maxQ)
 	v.Scale = float32(scale)
+	start := 0
+	if useAVX {
+		start = quantizeVector(x, w, scale, float64(maxQ), v)
+	}
+	if start < len(x) {
+		quantizeScalarFrom(x, start, w, scale, maxQ, v)
+	}
+}
+
+// maxAbsOf returns max |x_i| as a float64. Absolute value and max are
+// exact in float32 and the final widening is exact, so this equals the
+// all-float64 reference reduction bit-for-bit; the AVX path covers whole
+// 8-lane blocks and the scalar loop the tail.
+func maxAbsOf(x []float32) float64 {
+	var m float32
+	start := 0
+	if useAVX && len(x) >= 8 {
+		start = len(x) &^ 7
+		m = maxAbsAVX(&x[0], start)
+	}
+	for _, f := range x[start:] {
+		if f < 0 {
+			f = -f
+		}
+		if f > m {
+			m = f
+		}
+	}
+	return float64(m)
+}
+
+// quantizeVector routes the leading elements of x through the vectorized
+// quantizers and returns how many it packed — always a multiple of the
+// vector's elements-per-word, so the scalar continuation starts on a word
+// boundary. The assembly performs the exact IEEE sequence of the scalar
+// quantizer (float64 divide, round-to-even, clamp, truncate), so every
+// stored element is bit-identical. W8/W16/W32 lanes are written straight
+// into v.Words; W4/W2 quantize through an int8 scratch that SWAR
+// squeezes re-pack (two's-complement truncation to the low w bits, the
+// same masking the scalar packer applies).
+func quantizeVector(x []float32, w Width, scale, maxQ float64, v *Vector) int {
+	switch w {
+	case W8:
+		if n := len(x) &^ 15; n >= 16 {
+			quantizeI8AVX(&v.Words[0], &x[0], n, scale, maxQ)
+			return n
+		}
+	case W16:
+		if n := len(x) &^ 7; n >= 8 {
+			quantizeI16AVX(&v.Words[0], &x[0], n, scale, maxQ)
+			return n
+		}
+	case W32:
+		if n := len(x) &^ 3; n >= 4 {
+			quantizeI32AVX(&v.Words[0], &x[0], n, scale, maxQ)
+			return n
+		}
+	case W4:
+		if n := len(x) &^ 15; n >= 16 {
+			sp := quantizeScratch(x, n, scale, maxQ)
+			s := *sp
+			for k := 0; k < n/8; k += 2 {
+				v.Words[k>>1] = squeezeNibbles(s[k], s[k+1])
+			}
+			scratchPool.Put(sp)
+			return n
+		}
+	case W2:
+		// n must stay a multiple of 32 (a whole W2 word) on top of the
+		// quantizer's own multiple-of-16 requirement.
+		if n := len(x) &^ 31; n >= 32 {
+			sp := quantizeScratch(x, n, scale, maxQ)
+			s := *sp
+			for k := 0; k < n/8; k += 4 {
+				v.Words[k>>2] = squeezeCrumbs(s[k], s[k+1], s[k+2], s[k+3])
+			}
+			scratchPool.Put(sp)
+			return n
+		}
+	}
+	return 0
+}
+
+// scratchPool recycles the word buffers the W4/W2 vector quantizers
+// expand into, keeping QuantizeInto allocation-free in steady state.
+var scratchPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// quantizeScratch quantizes n elements (multiple of 16) of x as int8
+// bytes into a pooled word buffer of n/8 words; callers read it through
+// the returned container and Put the container back when done.
+func quantizeScratch(x []float32, n int, scale, maxQ float64) *[]uint64 {
+	sp := scratchPool.Get().(*[]uint64)
+	s := *sp
+	if need := n / 8; cap(s) < need {
+		s = make([]uint64, need)
+	} else {
+		s = s[:need]
+	}
+	*sp = s
+	quantizeI8AVX(&s[0], &x[0], n, scale, maxQ)
+	return sp
+}
+
+// squeezeNibbles compresses two words of int8 bytes (16 elements) into
+// one word of 4-bit elements, keeping each byte's low nibble — the
+// two's-complement truncation the scalar packer's mask performs.
+func squeezeNibbles(lo, hi uint64) uint64 {
+	return uint64(squeezeWordNibbles(lo)) | uint64(squeezeWordNibbles(hi))<<32
+}
+
+// squeezeWordNibbles folds the low nibbles of 8 bytes into 32 bits.
+func squeezeWordNibbles(u uint64) uint32 {
+	u &= 0x0F0F0F0F0F0F0F0F
+	u = (u | u>>4) & 0x00FF00FF00FF00FF
+	u = (u | u>>8) & 0x0000FFFF0000FFFF
+	return uint32(u | u>>16)
+}
+
+// squeezeCrumbs compresses four words of int8 bytes (32 elements) into
+// one word of 2-bit elements, keeping each byte's low crumb.
+func squeezeCrumbs(a, b, c, d uint64) uint64 {
+	return uint64(squeezeWordCrumbs(a)) | uint64(squeezeWordCrumbs(b))<<16 |
+		uint64(squeezeWordCrumbs(c))<<32 | uint64(squeezeWordCrumbs(d))<<48
+}
+
+// squeezeWordCrumbs folds the low crumbs of 8 bytes into 16 bits.
+func squeezeWordCrumbs(u uint64) uint16 {
+	u &= 0x0303030303030303
+	u = (u | u>>6) & 0x000F000F000F000F
+	u = (u | u>>12) & 0x000000FF000000FF
+	return uint16(u | u>>24)
+}
+
+// quantizeScalarFrom packs elements [start, len(x)) of x — start must sit
+// on a word boundary — word-at-a-time, the scalar reference every vector
+// path is pinned against: q = round-to-even(x/scale) clamped to ±maxQ.
+func quantizeScalarFrom(x []float32, start int, w Width, scale float64, maxQ int64, v *Vector) {
 	per := 64 / int(w)
 	mask := uint64(1)<<uint(w) - 1
-	i := 0
-	for k := range v.Words {
+	i := start
+	for k := start / per; k < len(v.Words); k++ {
 		slots := per
 		if n := len(x) - i; n < per {
 			slots = n
@@ -241,10 +373,17 @@ func quantizeBody(x []float32, w Width, v *Vector) {
 }
 
 // packSigns packs the W1 sign pattern of x (or all +1s when allPos) 64
-// elements per word.
+// elements per word: bit = 1 iff x_i >= 0 (so +0 and −0 both store +1).
+// The AVX path covers whole 64-element words with the identical
+// predicate; the scalar loop finishes the rest.
 func packSigns(x []float32, v *Vector, allPos bool) {
 	i := 0
-	for k := range v.Words {
+	if !allPos && useAVX && len(x) >= 64 {
+		nw := len(x) / 64
+		packSignsAVX(&v.Words[0], &x[0], nw)
+		i = nw * 64
+	}
+	for k := i / 64; k < len(v.Words); k++ {
 		slots := 64
 		if n := len(x) - i; n < 64 {
 			slots = n
@@ -263,29 +402,37 @@ func packSigns(x []float32, v *Vector, allPos bool) {
 // Dot returns the inner product Σ a_i·b_i of two packed vectors of
 // identical dim and width, in the integer domain (the float-domain product
 // is Dot·a.Scale·b.Scale). It runs on the word-level kernels of kernels.go:
-// XNOR/popcount at W1, exact widened-integer accumulation at W2–W16, and
-// element-order float64 accumulation at W32 (32-bit element products
-// summed over thousands of dimensions overflow int64). MatVecInto is the
-// blocked batch form scoring a query against a whole class memory.
+// XNOR/popcount at W1, SWAR popcounts at W2, exact widened-integer
+// accumulation at W4–W16, and 4-lane float64 accumulation at W32 (32-bit
+// element products summed over thousands of dimensions overflow int64;
+// the fixed lane scheme — lane = index mod 4, lanes folded sequentially —
+// makes the summation order deterministic across the scalar and vector
+// paths). MatVecInto is the blocked batch form scoring a query against a
+// whole class memory.
 func Dot(a, b *Vector) float64 {
 	compatible(a, b)
 	return dotKernel(a, b)
 }
 
 // dot1 computes the bipolar dot product via popcount: matches − mismatches
-// = Dim − 2·hamming.
+// = Dim − 2·hamming. Whole 4-word blocks go through the AVX2 popcount;
+// the word loop and masked partial word finish the rest.
 func dot1(a, b *Vector) int64 {
-	ham := 0
-	n := len(a.Words)
+	var ham int64
 	full := a.Dim / 64
-	for i := 0; i < full; i++ {
-		ham += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	start := 0
+	if useAVX2 && full >= 4 {
+		start = full &^ 3
+		ham = xnorPopcntAVX2(&a.Words[0], &b.Words[0], start)
 	}
-	if rem := a.Dim % 64; rem != 0 && full < n {
+	for i := start; i < full; i++ {
+		ham += int64(bits.OnesCount64(a.Words[i] ^ b.Words[i]))
+	}
+	if rem := a.Dim % 64; rem != 0 {
 		mask := uint64(1)<<uint(rem) - 1
-		ham += bits.OnesCount64((a.Words[full] ^ b.Words[full]) & mask)
+		ham += int64(bits.OnesCount64((a.Words[full] ^ b.Words[full]) & mask))
 	}
-	return int64(a.Dim - 2*ham)
+	return int64(a.Dim) - 2*ham
 }
 
 // Cosine returns the cosine similarity of two packed vectors in the integer

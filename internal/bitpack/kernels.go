@@ -9,26 +9,43 @@ import (
 // This file is the quantized analog of internal/hdc's kernel layer: blocked
 // batch kernels over packed words, so the streaming engine can score flows
 // in the integer domain at GEMM rates instead of element-at-a-time Get
-// loops. Three word-level paths cover the supported widths:
+// loops. Each width has a pure-Go word-level path plus, on amd64 without
+// the noasm tag, a vectorized fast path (kernels_amd64.s) selected at init
+// via internal/cpufeat — see KernelPath:
 //
 //   - W1: XNOR + bits.OnesCount64 over whole words (matches − mismatches
-//     = Dim − 2·hamming), 64 elements per instruction pair.
-//   - W2–W16: widened-integer dot — elements are shift/sign-extended out
-//     of each word and accumulated in int64. Every partial sum is an exact
-//     integer below 2^53, so this is bit-identical to the float64
-//     element-order accumulation of the scalar reference.
-//   - W32: two int32 lanes per word, accumulated in float64 in element
-//     order (32-bit element products overflow int64 over long vectors, and
-//     float64 rounding makes the summation order part of the contract).
+//     = Dim − 2·hamming); AVX2 path XORs 256 bits per step and popcounts
+//     them with the nibble-LUT shuffle (VPSHUFB) + VPSADBW.
+//   - W2: SWAR — four popcounts per word recover the exact dot of 32
+//     2-bit elements (see dotCrumbsPre), no per-element extraction.
+//   - W4/W8: widened-integer extraction in Go; AVX2 path sign-extends
+//     bytes (nibbles via a shuffle LUT first) to int16 lanes and
+//     multiplies pairwise with VPMADDWD into int32 accumulators.
+//   - W16: widened-integer extraction in Go; AVX2 path VPMADDWDs whole
+//     words and widens each product pair to int64 immediately.
+//   - W32: four float64 lanes (lane = element index mod 4) accumulated
+//     vertically and folded sequentially l0+l1+l2+l3 — the same
+//     lane-based contract as hdc.DotLanes, which makes the 4-wide AVX
+//     path (VCVTDQ2PD + VMULPD + VADDPD) bit-identical by construction.
 //
 // # Determinism
 //
-// Every kernel accumulates each output strictly from its own row in
-// element order — MatVecInto's 4-row panels share query word loads but
-// never reorder a row's summation — so results are bit-identical to the
+// W1–W16 sums are exact integers (|sum| < 2^53), so any summation order —
+// assembly chunks plus scalar tails included — produces the same value.
+// W32 is float64 arithmetic, so its summation order IS the contract: the
+// 4-lane scheme above, which both the scalar and AVX paths implement
+// group-by-group. MatVecInto's 4-row panels share query word loads but
+// never reorder a row's summation, so results are bit-identical to the
 // per-sample Dot regardless of panel grouping or caller-side batching.
 // The package tests pin kernel ≡ scalar Get-loop equality at every width,
-// including partial last words.
+// including partial last words and slack-bit pollution.
+
+// maxSIMDDim bounds the dimensionality routed to the int32-accumulator
+// assembly kernels (W4/W8): above it a worst-case all-±MaxQ vector could
+// overflow an int32 lane (W8: 2^16 per 32-element step × 2^19/32 steps =
+// 2^30 < 2^31). Larger vectors — far beyond any hyperspace in the paper —
+// fall back to the exact scalar path, which computes the same value.
+const maxSIMDDim = 1 << 19
 
 // compatible panics unless a and b share dim and width.
 func compatible(a, b *Vector) {
@@ -37,10 +54,11 @@ func compatible(a, b *Vector) {
 	}
 }
 
-// dotInt is the W2–W16 kernel: per word, each element is extracted with a
-// shift pair (left-align, arithmetic right to sign-extend) and the products
-// accumulate in int64 — exact, and therefore equal to the scalar float64
-// reference for any realistic dimensionality (|sum| < 2^53).
+// dotInt is the W2–W16 scalar reference kernel: per word, each element is
+// extracted with a shift pair (left-align, arithmetic right to
+// sign-extend) and the products accumulate in int64 — exact, and
+// therefore equal to the float64 element-order reference for any
+// realistic dimensionality (|sum| < 2^53).
 func dotInt(aw, bw []uint64, dim, w int) int64 {
 	per := 64 / w
 	// Constant shift amounts: the low element is sign-extended with a
@@ -69,21 +87,114 @@ func dotInt(aw, bw []uint64, dim, w int) int64 {
 	return s
 }
 
-// dot32 is the W32 kernel: two int32 lanes per word, float64 accumulation
-// in element order — the same arithmetic as the scalar reference, with the
-// per-element shift/mask bookkeeping hoisted out.
-func dot32(aw, bw []uint64, dim int) float64 {
-	var s float64
-	full := dim / 2
-	for k := 0; k < full; k++ {
-		a, b := aw[k], bw[k]
-		s += float64(int32(uint32(a))) * float64(int32(uint32(b)))
-		s += float64(int32(uint32(a>>32))) * float64(int32(uint32(b>>32)))
+// dotFast is the W4/W8/W16 dispatcher: whole 4-word blocks go through the
+// AVX2 lane kernels, the remainder (and every call on fallback builds or
+// past maxSIMDDim) through dotInt. Both halves are exact integers, so the
+// split is invisible in the result.
+func dotFast(aw, bw []uint64, dim, w int) int64 {
+	if useAVX2 && dim <= maxSIMDDim {
+		per := 64 / w
+		n4 := (dim / per) &^ 3
+		if n4 >= 4 {
+			var s int64
+			switch w {
+			case 4:
+				s = dotNibblesAVX2(&aw[0], &bw[0], n4)
+			case 8:
+				s = dotBytesAVX2(&aw[0], &bw[0], n4)
+			case 16:
+				s = dotShortsAVX2(&aw[0], &bw[0], n4)
+			default:
+				return dotInt(aw, bw, dim, w)
+			}
+			if rem := dim - n4*per; rem > 0 {
+				s += dotInt(aw[n4:], bw[n4:], rem, w)
+			}
+			return s
+		}
 	}
-	if dim&1 == 1 {
-		s += float64(int32(uint32(aw[full]))) * float64(int32(uint32(bw[full])))
+	return dotInt(aw, bw, dim, w)
+}
+
+// crumbMask selects the low bit of every 2-bit element in a word.
+const crumbMask = 0x5555555555555555
+
+// dotCrumbsPre is the W2 SWAR word kernel. A 2-bit two's-complement
+// element with bits (hi, lo) has value lo − 2·hi, so the product of two
+// elements expands to lo·lo − 2·(lo·hi + hi·lo) + 4·hi·hi — and since
+// each bit product over a whole word is just a popcount of an AND, one
+// word of 32 element products reduces to four popcounts. Exact integers,
+// bit-identical to dotInt at w=2. The caller pre-splits one operand
+// (bLo/bHi), which the 4-row panel shares across rows.
+func dotCrumbsPre(a, bLo, bHi uint64) int64 {
+	aLo, aHi := a&crumbMask, (a>>1)&crumbMask
+	n11 := int64(bits.OnesCount64(aHi & bHi))
+	n10 := int64(bits.OnesCount64(aHi & bLo))
+	n01 := int64(bits.OnesCount64(aLo & bHi))
+	n00 := int64(bits.OnesCount64(aLo & bLo))
+	return n00 + 4*n11 - 2*(n10+n01)
+}
+
+// dot2 is the W2 kernel: SWAR over whole words, with the partial last
+// word's slack crumbs masked out of the query operand (a zeroed element
+// contributes nothing to any of the four popcounts, so polluted slack
+// bits in the other operand cannot leak in).
+func dot2(aw, bw []uint64, dim int) int64 {
+	full := dim / 32
+	var s int64
+	for k := 0; k < full; k++ {
+		b := bw[k]
+		s += dotCrumbsPre(aw[k], b&crumbMask, (b>>1)&crumbMask)
+	}
+	if rem := dim % 32; rem != 0 {
+		mask := uint64(1)<<(uint(rem)*2) - 1
+		b := bw[full] & mask
+		s += dotCrumbsPre(aw[full], b&crumbMask, (b>>1)&crumbMask)
 	}
 	return s
+}
+
+// dot32LanesGo accumulates full (a multiple of 4) leading elements into
+// the 4 float64 lanes of the W32 contract: lane = element index mod 4,
+// groups in ascending order — the scalar reference the AVX path matches
+// bit-for-bit.
+func dot32LanesGo(aw, bw []uint64, full int, l *[4]float64) {
+	for i := 0; i < full; i += 4 {
+		k := i >> 1
+		a0, b0 := aw[k], bw[k]
+		a1, b1 := aw[k+1], bw[k+1]
+		l[0] += float64(int32(uint32(a0))) * float64(int32(uint32(b0)))
+		l[1] += float64(int32(uint32(a0>>32))) * float64(int32(uint32(b0>>32)))
+		l[2] += float64(int32(uint32(a1))) * float64(int32(uint32(b1)))
+		l[3] += float64(int32(uint32(a1>>32))) * float64(int32(uint32(b1>>32)))
+	}
+}
+
+// dot32Tail folds the up-to-3 trailing elements into their lanes.
+func dot32Tail(aw, bw []uint64, full, dim int, l *[4]float64) {
+	for i := full; i < dim; i++ {
+		k, sh := i>>1, uint(i&1)*32
+		l[i&3] += float64(int32(uint32(aw[k]>>sh))) * float64(int32(uint32(bw[k]>>sh)))
+	}
+}
+
+// foldLanes folds the 4 lanes sequentially — the fixed order that closes
+// the W32 contract.
+func foldLanes(l *[4]float64) float64 { return ((l[0] + l[1]) + l[2]) + l[3] }
+
+// dot32 is the W32 kernel: 4-lane float64 accumulation (32-bit element
+// products summed over thousands of dimensions overflow int64, so this
+// width stays in floating point, with the lane scheme fixing the order).
+func dot32(aw, bw []uint64, dim int) float64 {
+	var l [4]float64
+	full := dim &^ 3
+	if useAVX && full >= 8 {
+		dotLanes32AVX(&aw[0], &bw[0], full>>2, &l)
+	} else if full > 0 {
+		dot32LanesGo(aw, bw, full, &l)
+	}
+	dot32Tail(aw, bw, full, dim, &l)
+	return foldLanes(&l)
 }
 
 // dotKernel dispatches Dot to the word-level kernel for the vector width.
@@ -91,17 +202,20 @@ func dotKernel(a, b *Vector) float64 {
 	switch a.Width {
 	case W1:
 		return float64(dot1(a, b))
+	case W2:
+		return float64(dot2(a.Words, b.Words, a.Dim))
 	case W32:
 		return dot32(a.Words, b.Words, a.Dim)
 	default:
-		return float64(dotInt(a.Words, b.Words, a.Dim, int(a.Width)))
+		return float64(dotFast(a.Words, b.Words, a.Dim, int(a.Width)))
 	}
 }
 
 // MatVecInto scores one packed query against every row of m:
 // out[r] = Dot(m.Rows[r], q), blocked into 4-row panels that share the
-// query's word loads. Each row's sum keeps its own element order, so the
-// results are bit-identical to per-row Dot calls (pinned by tests).
+// query's word loads (and, on the AVX2 paths, its vector expansion).
+// Each row's sum keeps its own kernel contract, so the results are
+// bit-identical to per-row Dot calls (pinned by tests).
 func MatVecInto(m *Matrix, q *Vector, out []float64) {
 	if len(out) != len(m.Rows) {
 		panic("bitpack: MatVecInto output length mismatch")
@@ -127,49 +241,86 @@ func dotPanel4(r0, r1, r2, r3, q *Vector, out []float64) {
 	switch q.Width {
 	case W1:
 		dotPanel1x4(r0, r1, r2, r3, q, out)
+	case W2:
+		dotPanel2x4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, out)
 	case W32:
 		dotPanel32x4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, out)
 	default:
-		dotPanelIntx4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, int(q.Width), out)
+		dotPanelFastx4(r0.Words, r1.Words, r2.Words, r3.Words, q.Words, q.Dim, int(q.Width), out)
 	}
 }
 
 // dotPanel1x4 is the 4-row bipolar panel: one XNOR/popcount per row per
-// query word, with the partial last word masked exactly like dot1.
+// query word — 4-word AVX2 blocks first, then scalar words, then the
+// partial last word masked exactly like dot1.
 func dotPanel1x4(r0, r1, r2, r3, q *Vector, out []float64) {
-	var h0, h1, h2, h3 int
+	var h [4]int64
 	full := q.Dim / 64
+	start := 0
+	if useAVX2 && full >= 4 {
+		start = full &^ 3
+		xnorPopcntPanel4AVX2(&r0.Words[0], &r1.Words[0], &r2.Words[0], &r3.Words[0], &q.Words[0], start, &h)
+	}
 	qw := q.Words
-	for k := 0; k < full; k++ {
+	for k := start; k < full; k++ {
 		w := qw[k]
-		h0 += bits.OnesCount64(r0.Words[k] ^ w)
-		h1 += bits.OnesCount64(r1.Words[k] ^ w)
-		h2 += bits.OnesCount64(r2.Words[k] ^ w)
-		h3 += bits.OnesCount64(r3.Words[k] ^ w)
+		h[0] += int64(bits.OnesCount64(r0.Words[k] ^ w))
+		h[1] += int64(bits.OnesCount64(r1.Words[k] ^ w))
+		h[2] += int64(bits.OnesCount64(r2.Words[k] ^ w))
+		h[3] += int64(bits.OnesCount64(r3.Words[k] ^ w))
 	}
 	if rem := q.Dim % 64; rem != 0 {
 		mask := uint64(1)<<uint(rem) - 1
 		w := qw[full]
-		h0 += bits.OnesCount64((r0.Words[full] ^ w) & mask)
-		h1 += bits.OnesCount64((r1.Words[full] ^ w) & mask)
-		h2 += bits.OnesCount64((r2.Words[full] ^ w) & mask)
-		h3 += bits.OnesCount64((r3.Words[full] ^ w) & mask)
+		h[0] += int64(bits.OnesCount64((r0.Words[full] ^ w) & mask))
+		h[1] += int64(bits.OnesCount64((r1.Words[full] ^ w) & mask))
+		h[2] += int64(bits.OnesCount64((r2.Words[full] ^ w) & mask))
+		h[3] += int64(bits.OnesCount64((r3.Words[full] ^ w) & mask))
 	}
-	d := q.Dim
-	out[0] = float64(d - 2*h0)
-	out[1] = float64(d - 2*h1)
-	out[2] = float64(d - 2*h2)
-	out[3] = float64(d - 2*h3)
+	d := int64(q.Dim)
+	out[0] = float64(d - 2*h[0])
+	out[1] = float64(d - 2*h[1])
+	out[2] = float64(d - 2*h[2])
+	out[3] = float64(d - 2*h[3])
 }
 
-// dotPanelIntx4 is the 4-row widened-integer panel for W2–W16: the query
-// element is extracted once per slot and multiplied into four independent
-// int64 accumulators, with the same constant-shift extraction as dotInt.
-func dotPanelIntx4(a0, a1, a2, a3, qw []uint64, dim, w int, out []float64) {
+// dotPanel2x4 is the 4-row W2 SWAR panel: the query word is split into
+// crumb planes once and shared by all four rows.
+func dotPanel2x4(a0, a1, a2, a3, qw []uint64, dim int, out []float64) {
+	var s0, s1, s2, s3 int64
+	full := dim / 32
+	for k := 0; k < full; k++ {
+		q := qw[k]
+		qLo, qHi := q&crumbMask, (q>>1)&crumbMask
+		s0 += dotCrumbsPre(a0[k], qLo, qHi)
+		s1 += dotCrumbsPre(a1[k], qLo, qHi)
+		s2 += dotCrumbsPre(a2[k], qLo, qHi)
+		s3 += dotCrumbsPre(a3[k], qLo, qHi)
+	}
+	if rem := dim % 32; rem != 0 {
+		mask := uint64(1)<<(uint(rem)*2) - 1
+		q := qw[full] & mask
+		qLo, qHi := q&crumbMask, (q>>1)&crumbMask
+		s0 += dotCrumbsPre(a0[full], qLo, qHi)
+		s1 += dotCrumbsPre(a1[full], qLo, qHi)
+		s2 += dotCrumbsPre(a2[full], qLo, qHi)
+		s3 += dotCrumbsPre(a3[full], qLo, qHi)
+	}
+	out[0] = float64(s0)
+	out[1] = float64(s1)
+	out[2] = float64(s2)
+	out[3] = float64(s3)
+}
+
+// dotPanelIntAccum is the 4-row widened-integer scalar core for W2–W16:
+// the query element is extracted once per slot and multiplied into four
+// independent int64 accumulators, added into s — callable on word-slice
+// tails after an assembly block.
+func dotPanelIntAccum(a0, a1, a2, a3, qw []uint64, dim, w int, s *[4]int64) {
 	per := 64 / w
 	inv := uint(64 - w)
 	uw := uint(w)
-	var s0, s1, s2, s3 int64
+	s0, s1, s2, s3 := s[0], s[1], s[2], s[3]
 	k := 0
 	for rem := dim; rem > 0; k++ {
 		slots := per
@@ -192,53 +343,112 @@ func dotPanelIntx4(a0, a1, a2, a3, qw []uint64, dim, w int, out []float64) {
 		}
 		rem -= slots
 	}
-	out[0] = float64(s0)
-	out[1] = float64(s1)
-	out[2] = float64(s2)
-	out[3] = float64(s3)
+	s[0], s[1], s[2], s[3] = s0, s1, s2, s3
 }
 
-// dotPanel32x4 is the 4-row W32 panel: float64 accumulation per row in
-// element order, sharing the query's int32 lane extraction.
+// dotPanelFastx4 is the 4-row W4/W8/W16 dispatcher: AVX2 panel kernels
+// over whole 4-word blocks, scalar accumulation for the remainder.
+func dotPanelFastx4(a0, a1, a2, a3, qw []uint64, dim, w int, out []float64) {
+	var s [4]int64
+	if useAVX2 && dim <= maxSIMDDim {
+		per := 64 / w
+		n4 := (dim / per) &^ 3
+		if n4 >= 4 {
+			ok := true
+			switch w {
+			case 4:
+				dotNibblesPanel4AVX2(&a0[0], &a1[0], &a2[0], &a3[0], &qw[0], n4, &s)
+			case 8:
+				dotBytesPanel4AVX2(&a0[0], &a1[0], &a2[0], &a3[0], &qw[0], n4, &s)
+			case 16:
+				dotShortsPanel4AVX2(&a0[0], &a1[0], &a2[0], &a3[0], &qw[0], n4, &s)
+			default:
+				ok = false
+			}
+			if ok {
+				if rem := dim - n4*per; rem > 0 {
+					dotPanelIntAccum(a0[n4:], a1[n4:], a2[n4:], a3[n4:], qw[n4:], rem, w, &s)
+				}
+				out[0] = float64(s[0])
+				out[1] = float64(s[1])
+				out[2] = float64(s[2])
+				out[3] = float64(s[3])
+				return
+			}
+		}
+	}
+	dotPanelIntAccum(a0, a1, a2, a3, qw, dim, w, &s)
+	out[0] = float64(s[0])
+	out[1] = float64(s[1])
+	out[2] = float64(s[2])
+	out[3] = float64(s[3])
+}
+
+// dot32LanesPanelGo is the 4-row Go W32 lane core, sharing the query's
+// int32→float64 conversions; row r accumulates into l[4r..4r+3].
+func dot32LanesPanelGo(a0, a1, a2, a3, qw []uint64, full int, l *[16]float64) {
+	for i := 0; i < full; i += 4 {
+		k := i >> 1
+		q0, q1 := qw[k], qw[k+1]
+		f0 := float64(int32(uint32(q0)))
+		f1 := float64(int32(uint32(q0 >> 32)))
+		f2 := float64(int32(uint32(q1)))
+		f3 := float64(int32(uint32(q1 >> 32)))
+		w0, w1 := a0[k], a0[k+1]
+		l[0] += f0 * float64(int32(uint32(w0)))
+		l[1] += f1 * float64(int32(uint32(w0>>32)))
+		l[2] += f2 * float64(int32(uint32(w1)))
+		l[3] += f3 * float64(int32(uint32(w1>>32)))
+		w0, w1 = a1[k], a1[k+1]
+		l[4] += f0 * float64(int32(uint32(w0)))
+		l[5] += f1 * float64(int32(uint32(w0>>32)))
+		l[6] += f2 * float64(int32(uint32(w1)))
+		l[7] += f3 * float64(int32(uint32(w1>>32)))
+		w0, w1 = a2[k], a2[k+1]
+		l[8] += f0 * float64(int32(uint32(w0)))
+		l[9] += f1 * float64(int32(uint32(w0>>32)))
+		l[10] += f2 * float64(int32(uint32(w1)))
+		l[11] += f3 * float64(int32(uint32(w1>>32)))
+		w0, w1 = a3[k], a3[k+1]
+		l[12] += f0 * float64(int32(uint32(w0)))
+		l[13] += f1 * float64(int32(uint32(w0>>32)))
+		l[14] += f2 * float64(int32(uint32(w1)))
+		l[15] += f3 * float64(int32(uint32(w1>>32)))
+	}
+}
+
+// dotPanel32x4 is the 4-row W32 panel: 4 float64 lanes per row under the
+// same lane contract as dot32, sharing the query's conversions.
 func dotPanel32x4(a0, a1, a2, a3, qw []uint64, dim int, out []float64) {
-	var s0, s1, s2, s3 float64
-	full := dim / 2
-	for k := 0; k < full; k++ {
-		q := qw[k]
-		qlo := float64(int32(uint32(q)))
-		qhi := float64(int32(uint32(q >> 32)))
-		w0, w1, w2, w3 := a0[k], a1[k], a2[k], a3[k]
-		s0 += qlo * float64(int32(uint32(w0)))
-		s0 += qhi * float64(int32(uint32(w0>>32)))
-		s1 += qlo * float64(int32(uint32(w1)))
-		s1 += qhi * float64(int32(uint32(w1>>32)))
-		s2 += qlo * float64(int32(uint32(w2)))
-		s2 += qhi * float64(int32(uint32(w2>>32)))
-		s3 += qlo * float64(int32(uint32(w3)))
-		s3 += qhi * float64(int32(uint32(w3>>32)))
+	var l [16]float64
+	full := dim &^ 3
+	if useAVX && full >= 8 {
+		dotLanes32Panel4AVX(&a0[0], &a1[0], &a2[0], &a3[0], &qw[0], full>>2, &l)
+	} else if full > 0 {
+		dot32LanesPanelGo(a0, a1, a2, a3, qw, full, &l)
 	}
-	if dim&1 == 1 {
-		qlo := float64(int32(uint32(qw[full])))
-		s0 += qlo * float64(int32(uint32(a0[full])))
-		s1 += qlo * float64(int32(uint32(a1[full])))
-		s2 += qlo * float64(int32(uint32(a2[full])))
-		s3 += qlo * float64(int32(uint32(a3[full])))
+	rows := [4][]uint64{a0, a1, a2, a3}
+	for r := 0; r < 4; r++ {
+		lr := (*[4]float64)(l[r*4 : r*4+4])
+		dot32Tail(rows[r], qw, full, dim, lr)
+		out[r] = foldLanes(lr)
 	}
-	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
 }
 
 // NormSq returns the integer-domain squared Euclidean norm of v through
 // the word-level kernels: Dim for W1 (every element is ±1), exact int64
-// sums of squares for W2–W16, and element-order float64 accumulation for
-// W32 — the same values the scalar Get-loop produces.
+// sums of squares for W2–W16, and 4-lane float64 accumulation for W32 —
+// the same values the scalar Get-loop produces.
 func NormSq(v *Vector) float64 {
 	switch v.Width {
 	case W1:
 		return float64(v.Dim)
+	case W2:
+		return float64(dot2(v.Words, v.Words, v.Dim))
 	case W32:
 		return dot32(v.Words, v.Words, v.Dim)
 	default:
-		return float64(dotInt(v.Words, v.Words, v.Dim, int(v.Width)))
+		return float64(dotFast(v.Words, v.Words, v.Dim, int(v.Width)))
 	}
 }
 
@@ -344,4 +554,21 @@ func (s *Scorer) Classify(q *Vector) int {
 		return 0
 	}
 	return best
+}
+
+// KernelPath reports the packed-kernel implementation selected at init,
+// so benchmarks and the serving /stats surface can attribute numbers to a
+// code path: "avx2" (vector dot kernels + vector quantization), "avx"
+// (vector quantization and W32 lanes; SWAR/popcount dots), or
+// "popcnt-swar" (pure-Go word kernels — non-amd64 targets, the noasm
+// build tag, or a CPU/OS without YMM state).
+func KernelPath() string {
+	switch {
+	case useAVX2:
+		return "avx2"
+	case useAVX:
+		return "avx"
+	default:
+		return "popcnt-swar"
+	}
 }

@@ -1,0 +1,294 @@
+//go:build amd64 && !noasm
+
+package bitpack
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"testing"
+
+	"cyberhd/internal/rng"
+)
+
+// This file tests the assembly kernels against their pure-Go references
+// directly — not through dispatch — so a regression in either the
+// assembly or the dispatch split points is attributed precisely. It only
+// builds where the assembly does; the dispatch-level equivalence tests in
+// kernels_test.go run everywhere.
+
+// randWords returns n words of uniform random bits — every slot pattern
+// a packed vector could hold, valid or slack.
+func randWords(r *rng.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	return w
+}
+
+// asmBlockSizes are word counts the block kernels accept (multiples of 4
+// spanning one to many 256-bit steps).
+var asmBlockSizes = []int{4, 8, 12, 16, 64, 252}
+
+func TestAsmXnorPopcntMatchesGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable")
+	}
+	r := rng.New(101)
+	for _, n := range asmBlockSizes {
+		a, q := randWords(r, n), randWords(r, n)
+		var want int64
+		for k := 0; k < n; k++ {
+			want += int64(bits.OnesCount64(a[k] ^ q[k]))
+		}
+		if got := xnorPopcntAVX2(&a[0], &q[0], n); got != want {
+			t.Errorf("n=%d: asm %d != go %d", n, got, want)
+		}
+	}
+}
+
+// TestAsmDotBlocksMatchGo pins each integer block kernel, single and
+// 4-row panel, against the scalar extraction reference on random words.
+func TestAsmDotBlocksMatchGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable")
+	}
+	kernels := []struct {
+		w      int
+		single func(a, b *uint64, n int) int64
+		panel  func(a0, a1, a2, a3, q *uint64, n int, out *[4]int64)
+	}{
+		{4, dotNibblesAVX2, dotNibblesPanel4AVX2},
+		{8, dotBytesAVX2, dotBytesPanel4AVX2},
+		{16, dotShortsAVX2, dotShortsPanel4AVX2},
+	}
+	r := rng.New(202)
+	for _, k := range kernels {
+		for _, n := range asmBlockSizes {
+			dim := n * (64 / k.w)
+			rows := [4][]uint64{randWords(r, n), randWords(r, n), randWords(r, n), randWords(r, n)}
+			q := randWords(r, n)
+			for i, row := range rows {
+				want := dotInt(row, q, dim, k.w)
+				if got := k.single(&row[0], &q[0], n); got != want {
+					t.Errorf("w=%d n=%d row=%d: asm %d != go %d", k.w, n, i, got, want)
+				}
+			}
+			var out [4]int64
+			k.panel(&rows[0][0], &rows[1][0], &rows[2][0], &rows[3][0], &q[0], n, &out)
+			for i, row := range rows {
+				if want := dotInt(row, q, dim, k.w); out[i] != want {
+					t.Errorf("w=%d n=%d: panel[%d] %d != go %d", k.w, n, i, out[i], want)
+				}
+			}
+			// XNOR panel on the same words.
+			var hout [4]int64
+			xnorPopcntPanel4AVX2(&rows[0][0], &rows[1][0], &rows[2][0], &rows[3][0], &q[0], n, &hout)
+			for i, row := range rows {
+				var want int64
+				for j := 0; j < n; j++ {
+					want += int64(bits.OnesCount64(row[j] ^ q[j]))
+				}
+				if hout[i] != want {
+					t.Errorf("xnor panel n=%d row=%d: %d != %d", n, i, hout[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestAsmLanes32MatchesGo pins the W32 float64-lane kernels bit-for-bit
+// against the Go lane reference.
+func TestAsmLanes32MatchesGo(t *testing.T) {
+	if !useAVX {
+		t.Skip("AVX unavailable")
+	}
+	r := rng.New(303)
+	for _, ng := range []int{1, 2, 3, 7, 33, 128} {
+		n := ng * 2
+		rows := [4][]uint64{randWords(r, n), randWords(r, n), randWords(r, n), randWords(r, n)}
+		q := randWords(r, n)
+		for i, row := range rows {
+			var want, got [4]float64
+			dot32LanesGo(row, q, ng*4, &want)
+			dotLanes32AVX(&row[0], &q[0], ng, &got)
+			if got != want {
+				t.Errorf("ng=%d row=%d: asm lanes %v != go %v", ng, i, got, want)
+			}
+		}
+		var pgot [16]float64
+		var pwant [16]float64
+		dotLanes32Panel4AVX(&rows[0][0], &rows[1][0], &rows[2][0], &rows[3][0], &q[0], ng, &pgot)
+		dot32LanesPanelGo(rows[0], rows[1], rows[2], rows[3], q, ng*4, &pwant)
+		if pgot != pwant {
+			t.Errorf("ng=%d: panel lanes %v != go %v", ng, pgot, pwant)
+		}
+	}
+}
+
+// TestAsmQuantizersMatchScalar pins maxAbsAVX, packSignsAVX and the
+// int8/int16/int32 quantizers against the scalar packing loops on random
+// inputs, including negative zero and exact round-to-even ties (x values
+// quantized by a power-of-two scale land exactly on .5 boundaries).
+func TestAsmQuantizersMatchScalar(t *testing.T) {
+	if !useAVX {
+		t.Skip("AVX unavailable")
+	}
+	r := rng.New(404)
+	for _, n := range []int{16, 64, 128, 512} {
+		x := make([]float32, n)
+		for i := range x {
+			// Half-integer multiples in float32: n/2 is exact, so ties
+			// against round-to-even occur constantly at scale 1.
+			x[i] = float32(r.Intn(513)-256) / 2
+		}
+		x[0] = float32(math.Copysign(0, -1)) // -0.0 must pack as >= 0
+		// maxAbs over whole 8-lane blocks.
+		var wantMax float32
+		for _, f := range x {
+			if f < 0 {
+				f = -f
+			}
+			if f > wantMax {
+				wantMax = f
+			}
+		}
+		if got := maxAbsAVX(&x[0], n); got != wantMax {
+			t.Errorf("n=%d: maxAbsAVX %v != %v", n, got, wantMax)
+		}
+		// packSigns whole words.
+		if n%64 == 0 {
+			nw := n / 64
+			got := make([]uint64, nw)
+			packSignsAVX(&got[0], &x[0], nw)
+			for i := 0; i < n; i++ {
+				want := uint64(0)
+				if x[i] >= 0 {
+					want = 1
+				}
+				if bit := got[i/64] >> uint(i%64) & 1; bit != want {
+					t.Errorf("n=%d: packSigns bit %d = %d, want %d", n, i, bit, want)
+				}
+			}
+		}
+		// The integer quantizers against the scalar word packer.
+		for _, w := range []Width{W8, W16, W32} {
+			scale := 1.0
+			maxQ := w.MaxQ()
+			want := NewVector(n, w)
+			quantizeScalarFrom(x, 0, w, scale, maxQ, want)
+			got := NewVector(n, w)
+			switch w {
+			case W8:
+				quantizeI8AVX(&got.Words[0], &x[0], n, scale, float64(maxQ))
+			case W16:
+				quantizeI16AVX(&got.Words[0], &x[0], n, scale, float64(maxQ))
+			case W32:
+				quantizeI32AVX(&got.Words[0], &x[0], n, scale, float64(maxQ))
+			}
+			for k := range want.Words {
+				if got.Words[k] != want.Words[k] {
+					t.Errorf("w=%d n=%d: word %d = %#x, want %#x", w, n, k, got.Words[k], want.Words[k])
+				}
+			}
+		}
+	}
+}
+
+// TestAsmVsScalarDispatch runs the full public surface with the vector
+// paths force-disabled and pins byte equality against the normal
+// dispatch — the strongest end-to-end statement that the assembly never
+// changes a result bit.
+func TestAsmVsScalarDispatch(t *testing.T) {
+	if !useAVX {
+		t.Skip("AVX unavailable")
+	}
+	restoreAVX, restoreAVX2 := useAVX, useAVX2
+	defer func() { useAVX, useAVX2 = restoreAVX, restoreAVX2 }()
+	r := rng.New(505)
+	for _, w := range Widths {
+		for _, dim := range []int{1, 17, 64, 255, 513, 1024} {
+			x := make([]float32, dim)
+			y := make([]float32, dim)
+			r.FillNorm(x, 0, 1)
+			r.FillNorm(y, 0, 1)
+
+			useAVX, useAVX2 = restoreAVX, restoreAVX2
+			fastA, fastB := Quantize(x, w), Quantize(y, w)
+			fastDot := Dot(fastA, fastB)
+			fastNorm := NormSq(fastA)
+
+			useAVX, useAVX2 = false, false
+			slowA, slowB := Quantize(x, w), Quantize(y, w)
+			slowDot := Dot(slowA, slowB)
+			slowNorm := NormSq(slowA)
+
+			useAVX, useAVX2 = restoreAVX, restoreAVX2
+			if fastA.Scale != slowA.Scale {
+				t.Fatalf("w=%d dim=%d: scale %v != %v", w, dim, fastA.Scale, slowA.Scale)
+			}
+			for k := range slowA.Words {
+				if fastA.Words[k] != slowA.Words[k] {
+					t.Fatalf("w=%d dim=%d: word %d %#x != %#x", w, dim, k, fastA.Words[k], slowA.Words[k])
+				}
+			}
+			if fastDot != slowDot {
+				t.Fatalf("w=%d dim=%d: Dot %v != scalar %v", w, dim, fastDot, slowDot)
+			}
+			if fastNorm != slowNorm {
+				t.Fatalf("w=%d dim=%d: NormSq %v != scalar %v", w, dim, fastNorm, slowNorm)
+			}
+		}
+	}
+}
+
+// BenchmarkMatVecScalar512x8 is BenchmarkMatVecWidths512x8 with the
+// vector paths force-disabled — the in-build half of the asm-vs-scalar
+// comparison.
+func BenchmarkMatVecScalar512x8(b *testing.B) {
+	restoreAVX, restoreAVX2 := useAVX, useAVX2
+	defer func() { useAVX, useAVX2 = restoreAVX, restoreAVX2 }()
+	r := rng.New(1)
+	const dim, classes = 512, 8
+	flat := make([]float32, classes*dim)
+	r.FillNorm(flat, 0, 1)
+	for _, w := range Widths {
+		w := w
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			m := QuantizeMatrix(flat, classes, dim, w)
+			q := randVec(rng.New(2), dim, w)
+			out := make([]float64, classes)
+			useAVX, useAVX2 = false, false
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatVecInto(m, q, out)
+			}
+			b.StopTimer()
+			useAVX, useAVX2 = restoreAVX, restoreAVX2
+		})
+	}
+}
+
+// BenchmarkQuantizeScalar512 is the scalar-path half of the QuantizeInto
+// comparison.
+func BenchmarkQuantizeScalar512(b *testing.B) {
+	restoreAVX, restoreAVX2 := useAVX, useAVX2
+	defer func() { useAVX, useAVX2 = restoreAVX, restoreAVX2 }()
+	r := rng.New(1)
+	x := make([]float32, 512)
+	r.FillNorm(x, 0, 1)
+	for _, w := range Widths {
+		w := w
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			v := NewVector(512, w)
+			useAVX, useAVX2 = false, false
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				QuantizeInto(x, w, v)
+			}
+			b.StopTimer()
+			useAVX, useAVX2 = restoreAVX, restoreAVX2
+		})
+	}
+}

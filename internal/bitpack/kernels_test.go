@@ -9,10 +9,20 @@ import (
 	"cyberhd/internal/rng"
 )
 
-// scalarDot is the pre-kernel reference: element-at-a-time Get with
-// float64 accumulation in index order. Every kernel path must reproduce
-// it bit-for-bit.
+// scalarDot is the element-at-a-time Get reference every kernel path —
+// scalar, SWAR and assembly alike — must reproduce bit-for-bit. W1–W16
+// sums are exact integers, so plain index-order float64 accumulation is
+// the (order-independent) contract; W32 is real floating-point work, so
+// its contract is the fixed 4-lane scheme: lane = index mod 4, lanes
+// folded sequentially.
 func scalarDot(a, b *Vector) float64 {
+	if a.Width == W32 {
+		var l [4]float64
+		for i := 0; i < a.Dim; i++ {
+			l[i&3] += float64(a.Get(i)) * float64(b.Get(i))
+		}
+		return ((l[0] + l[1]) + l[2]) + l[3]
+	}
 	var s float64
 	for i := 0; i < a.Dim; i++ {
 		s += float64(a.Get(i)) * float64(b.Get(i))
@@ -27,10 +37,12 @@ func randVec(r *rng.Rand, dim int, w Width) *Vector {
 	return Quantize(x, w)
 }
 
-// edgeDims exercises full words, partial last words, and sub-word vectors
-// at every width: 64 elements/word at W1, 32 at W2, 16 at W4, 8 at W8,
-// 4 at W16, 2 at W32.
-var edgeDims = []int{1, 2, 3, 15, 16, 17, 31, 32, 33, 63, 64, 65, 97, 128, 511, 512, 513}
+// edgeDims exercises full words, partial last words, sub-word vectors,
+// and both sides of the 4-word assembly block boundary at every width:
+// 64 elements/word at W1 (so 255..257 straddles one whole AVX2 block),
+// 32 at W2, 16 at W4, 8 at W8, 4 at W16, 2 at W32.
+var edgeDims = []int{1, 2, 3, 15, 16, 17, 31, 32, 33, 63, 64, 65, 97, 128,
+	255, 256, 257, 511, 512, 513, 1023, 1024, 1025}
 
 func TestDotKernelMatchesScalarAllWidths(t *testing.T) {
 	for _, w := range Widths {
@@ -68,7 +80,7 @@ func TestNormSqMatchesScalar(t *testing.T) {
 func TestMatVecIntoMatchesDot(t *testing.T) {
 	for _, w := range Widths {
 		for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 13} {
-			for _, dim := range []int{17, 64, 97, 512} {
+			for _, dim := range []int{17, 64, 97, 255, 512, 1025} {
 				r := rng.New(uint64(w)*3000 + uint64(rows*1000+dim))
 				m := &Matrix{Rows: make([]*Vector, rows)}
 				for i := range m.Rows {
@@ -87,31 +99,52 @@ func TestMatVecIntoMatchesDot(t *testing.T) {
 	}
 }
 
+// polluteSlack sets every payload-free bit in v's last word, simulating
+// stale garbage from pooled QuantizeInto reuse.
+func polluteSlack(v *Vector) {
+	per := 64 / int(v.Width)
+	used := uint((v.Dim - (v.Dim/per)*per) * int(v.Width))
+	if used > 0 {
+		v.Words[len(v.Words)-1] |= ^(uint64(1)<<used - 1)
+	}
+}
+
 // TestPartialWordMaskingEdgeWidths pins the partial-last-word contract at
-// the narrow widths: a vector whose dim leaves unused slots in its last
-// word must score identically whether the slack bits are zero (fresh
-// Quantize) or stale garbage (pooled QuantizeInto reuse).
+// every width: a vector whose dim leaves unused slots in its last word
+// must score identically whether the slack bits are zero (fresh Quantize)
+// or stale garbage — on either operand, through single dots, panels and
+// norms alike.
 func TestPartialWordMaskingEdgeWidths(t *testing.T) {
-	for _, w := range []Width{W2, W4} {
+	for _, w := range Widths {
 		per := 64 / int(w)
-		for _, dim := range []int{per + 1, 2*per - 1, 2*per + per/2} {
+		for _, dim := range []int{per + 1, 2*per - 1, 2*per + per/2, 5*per - 1, 9*per + 1} {
+			if dim < 1 || dim%per == 0 {
+				continue
+			}
 			r := rng.New(uint64(w)*4000 + uint64(dim))
 			x := make([]float32, dim)
 			y := make([]float32, dim)
 			r.FillNorm(x, 0, 1)
 			r.FillNorm(y, 0, 1)
-			clean, q := Quantize(x, w), Quantize(y, w)
-			dirty := clean.Clone()
-			// Pollute every slack bit beyond dim in the last word.
-			used := uint((dim - (dim/per)*per) * int(w))
-			if used > 0 {
-				dirty.Words[len(dirty.Words)-1] |= ^(uint64(1)<<used - 1)
-			}
-			if got, want := Dot(dirty, q), Dot(clean, q); got != want {
+			clean, cleanQ := Quantize(x, w), Quantize(y, w)
+			dirty, dirtyQ := clean.Clone(), cleanQ.Clone()
+			polluteSlack(dirty)
+			polluteSlack(dirtyQ)
+			if got, want := Dot(dirty, dirtyQ), Dot(clean, cleanQ); got != want {
 				t.Errorf("w=%d dim=%d: slack bits leaked into Dot: %v != %v", w, dim, got, want)
 			}
 			if got, want := NormSq(dirty), NormSq(clean); got != want {
 				t.Errorf("w=%d dim=%d: slack bits leaked into NormSq: %v != %v", w, dim, got, want)
+			}
+			// Through the 4-row panels, with pollution on rows and query.
+			m := &Matrix{Rows: []*Vector{dirty, clean, dirty, clean, dirty}}
+			out := make([]float64, 5)
+			MatVecInto(m, dirtyQ, out)
+			want := Dot(clean, cleanQ)
+			for i, got := range out {
+				if got != want {
+					t.Errorf("w=%d dim=%d: panel row %d leaked slack: %v != %v", w, dim, i, got, want)
+				}
 			}
 		}
 	}
@@ -147,54 +180,59 @@ func TestQuantizeIntoMatchesQuantize(t *testing.T) {
 	}
 }
 
-// TestQuantizeMatchesSetReference pins the word-at-a-time packing loop
-// against the per-element Set reference: identical values, scale and
-// words at every width, including partial last words and the all-zero
-// input convention.
-func TestQuantizeMatchesSetReference(t *testing.T) {
-	setReference := func(x []float32, w Width) *Vector {
-		v := NewVector(len(x), w)
-		var maxAbs float64
-		for _, f := range x {
-			if a := math.Abs(float64(f)); a > maxAbs {
-				maxAbs = a
-			}
+// setReference is the per-element Set quantization reference: the slow,
+// obviously-correct loop every packing path (word-at-a-time scalar and
+// the vectorized quantizers) must reproduce exactly — values, scale and
+// words.
+func setReference(x []float32, w Width) *Vector {
+	v := NewVector(len(x), w)
+	var maxAbs float64
+	for _, f := range x {
+		if a := math.Abs(float64(f)); a > maxAbs {
+			maxAbs = a
 		}
-		if maxAbs == 0 {
-			v.Scale = 1
-			if w == W1 {
-				for i := range x {
-					v.Set(i, 1)
-				}
-			}
-			return v
-		}
-		maxQ := w.MaxQ()
-		scale := maxAbs / float64(maxQ)
-		v.Scale = float32(scale)
+	}
+	if maxAbs == 0 {
+		v.Scale = 1
 		if w == W1 {
-			v.Scale = float32(maxAbs)
-			for i, f := range x {
-				if f >= 0 {
-					v.Set(i, 1)
-				} else {
-					v.Set(i, -1)
-				}
+			for i := range x {
+				v.Set(i, 1)
 			}
-			return v
-		}
-		for i, f := range x {
-			q := int64(math.RoundToEven(float64(f) / scale))
-			if q > maxQ {
-				q = maxQ
-			}
-			if q < -maxQ {
-				q = -maxQ
-			}
-			v.Set(i, q)
 		}
 		return v
 	}
+	maxQ := w.MaxQ()
+	scale := maxAbs / float64(maxQ)
+	v.Scale = float32(scale)
+	if w == W1 {
+		v.Scale = float32(maxAbs)
+		for i, f := range x {
+			if f >= 0 {
+				v.Set(i, 1)
+			} else {
+				v.Set(i, -1)
+			}
+		}
+		return v
+	}
+	for i, f := range x {
+		q := int64(math.RoundToEven(float64(f) / scale))
+		if q > maxQ {
+			q = maxQ
+		}
+		if q < -maxQ {
+			q = -maxQ
+		}
+		v.Set(i, q)
+	}
+	return v
+}
+
+// TestQuantizeMatchesSetReference pins the word-at-a-time packing loop
+// (and, on vector builds, the SIMD quantizers) against the per-element
+// Set reference: identical values, scale and words at every width,
+// including partial last words and the all-zero input convention.
+func TestQuantizeMatchesSetReference(t *testing.T) {
 	for _, w := range Widths {
 		for _, dim := range edgeDims {
 			r := rng.New(uint64(w)*6000 + uint64(dim))
@@ -216,6 +254,49 @@ func TestQuantizeMatchesSetReference(t *testing.T) {
 					t.Fatalf("w=%d dim=%d: zero-input word %d = %#x, want %#x", w, dim, k, gz.Words[k], wz.Words[k])
 				}
 			}
+		}
+	}
+}
+
+// TestQuantizePropertyAllWidths is the property form of the packing
+// contract: random dims and seeds through testing/quick, Quantize must
+// equal the Set reference word-for-word at every width.
+func TestQuantizePropertyAllWidths(t *testing.T) {
+	for _, w := range Widths {
+		w := w
+		f := func(seed uint64) bool {
+			r := rng.New(seed)
+			dim := 1 + r.Intn(1200)
+			x := make([]float32, dim)
+			r.FillNorm(x, 0, 1)
+			got, want := Quantize(x, w), setReference(x, w)
+			if got.Scale != want.Scale {
+				return false
+			}
+			for k := range want.Words {
+				if got.Words[k] != want.Words[k] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("w=%d: %v", w, err)
+		}
+	}
+}
+
+// TestQuantizeIntoZeroAlloc pins the pooled packing path allocation-free
+// at every width — including W2/W4, whose vector path round-trips through
+// a pooled scratch buffer.
+func TestQuantizeIntoZeroAlloc(t *testing.T) {
+	r := rng.New(11)
+	x := make([]float32, 2048)
+	r.FillNorm(x, 0, 1)
+	for _, w := range Widths {
+		v := NewVector(2048, w)
+		if allocs := testing.AllocsPerRun(100, func() { QuantizeInto(x, w, v) }); allocs != 0 {
+			t.Errorf("w=%d: QuantizeInto allocates %v per run", w, allocs)
 		}
 	}
 }
@@ -394,11 +475,34 @@ func BenchmarkScorerClassify8Bit(b *testing.B) {
 
 var benchSinkInt int
 
+// BenchmarkMatVecWidths512x8 times the blocked panel kernels per width on
+// the serving shape (512-dim, 8 classes); compare against the same run
+// under -tags noasm (or BenchmarkMatVecScalar512x8 on amd64) for the
+// asm-vs-scalar ratio.
+func BenchmarkMatVecWidths512x8(b *testing.B) {
+	r := rng.New(1)
+	const dim, classes = 512, 8
+	flat := make([]float32, classes*dim)
+	r.FillNorm(flat, 0, 1)
+	for _, w := range Widths {
+		w := w
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			m := QuantizeMatrix(flat, classes, dim, w)
+			q := randVec(rng.New(2), dim, w)
+			out := make([]float64, classes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatVecInto(m, q, out)
+			}
+		})
+	}
+}
+
 func BenchmarkQuantizeInto512(b *testing.B) {
 	r := rng.New(1)
 	x := make([]float32, 512)
 	r.FillNorm(x, 0, 1)
-	for _, w := range []Width{W1, W4, W8} {
+	for _, w := range Widths {
 		w := w
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
 			v := NewVector(512, w)

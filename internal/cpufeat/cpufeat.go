@@ -1,0 +1,20 @@
+// Package cpufeat detects, once at init, the x86 instruction-set
+// extensions that the hand-written kernels in internal/hdc (float panels)
+// and internal/bitpack (packed integer panels) dispatch on. Non-amd64
+// builds — and amd64 builds with the noasm tag, which CI uses to exercise
+// the portable fallbacks — report every feature as absent, so callers can
+// gate on these flags without their own build-tag plumbing.
+package cpufeat
+
+// Feature flags, fixed at package init. AVX and AVX2 are only reported
+// when the OS has enabled YMM state saving (XGETBV), so a true flag means
+// the corresponding instructions are actually executable, not merely
+// present in CPUID.
+var (
+	// HasAVX reports AVX (256-bit float vectors) plus OS YMM support.
+	HasAVX bool
+	// HasAVX2 reports AVX2 (256-bit integer vectors) plus OS YMM support.
+	HasAVX2 bool
+	// HasPOPCNT reports the POPCNT instruction.
+	HasPOPCNT bool
+)

@@ -1,0 +1,35 @@
+//go:build amd64 && !noasm
+
+package cpufeat
+
+// cpuid and xgetbv are implemented in cpufeat_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func init() { HasAVX, HasAVX2, HasPOPCNT = detect() }
+
+// detect mirrors the usual AVX discovery dance: the CPUID feature bits
+// alone are not enough — OSXSAVE must be set and XGETBV must confirm the
+// OS saves/restores both XMM (bit 1) and YMM (bit 2) state, or executing
+// a VEX-encoded instruction faults.
+func detect() (avx, avx2, popcnt bool) {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return false, false, false
+	}
+	_, _, ecx, _ := cpuid(1, 0)
+	popcnt = ecx&(1<<23) != 0
+	const osxsave = 1 << 27
+	const avxBit = 1 << 28
+	if ecx&osxsave == 0 || ecx&avxBit == 0 {
+		return false, false, popcnt
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 {
+		return false, false, popcnt
+	}
+	if maxID < 7 {
+		return true, false, popcnt
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	return true, ebx&(1<<5) != 0, popcnt
+}

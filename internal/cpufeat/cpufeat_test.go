@@ -1,0 +1,14 @@
+package cpufeat
+
+import "testing"
+
+// TestFeatureImplications pins the invariants callers dispatch on: AVX2
+// implies AVX (a CPU cannot usefully report 256-bit integer vectors
+// without the 128/256-bit float foundation and OS YMM support), and on a
+// noasm or non-amd64 build every flag is false so all kernels fall back.
+func TestFeatureImplications(t *testing.T) {
+	if HasAVX2 && !HasAVX {
+		t.Fatalf("HasAVX2 set without HasAVX")
+	}
+	t.Logf("cpufeat: avx=%v avx2=%v popcnt=%v", HasAVX, HasAVX2, HasPOPCNT)
+}

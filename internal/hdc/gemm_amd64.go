@@ -2,9 +2,7 @@
 
 package hdc
 
-// cpuid and xgetbv are implemented in gemm_amd64.s.
-func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-func xgetbv() (eax, edx uint32)
+import "cyberhd/internal/cpufeat"
 
 // dotPanelAVX is the AVX implementation of DotPanel's contract: for each
 // of rows rows of b (stride floats apart) it accumulates x·row in eight
@@ -22,27 +20,7 @@ func dotPanelAVX(x, b, out *float32, n, stride, rows int)
 func cosIntoAVX2(dst, pre, bias *float32, n int)
 
 // useAVX gates the dot kernel on AVX plus OS support for YMM state;
-// useAVX2 additionally gates the cosine kernel (VPSLLD on YMM).
-var useAVX, useAVX2 = detectAVX()
-
-func detectAVX() (avx1, avx2 bool) {
-	maxID, _, _, _ := cpuid(0, 0)
-	if maxID < 1 {
-		return false, false
-	}
-	_, _, ecx, _ := cpuid(1, 0)
-	const osxsave = 1 << 27
-	const avx = 1 << 28
-	if ecx&osxsave == 0 || ecx&avx == 0 {
-		return false, false
-	}
-	// The OS must save/restore both XMM (bit 1) and YMM (bit 2) state.
-	if eax, _ := xgetbv(); eax&6 != 6 {
-		return false, false
-	}
-	if maxID < 7 {
-		return true, false
-	}
-	_, ebx, _, _ := cpuid(7, 0)
-	return true, ebx&(1<<5) != 0
-}
+// useAVX2 additionally gates the cosine kernel (VPSLLD on YMM). Detection
+// lives in internal/cpufeat, shared with the packed kernels of
+// internal/bitpack.
+var useAVX, useAVX2 = cpufeat.HasAVX, cpufeat.HasAVX2

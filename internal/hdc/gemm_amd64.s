@@ -23,25 +23,6 @@ DATA maskTab<>+0x38(SB)/4, $0x00000000
 DATA maskTab<>+0x3c(SB)/4, $0x00000000
 GLOBL maskTab<>(SB), RODATA|NOPTR, $64
 
-// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-TEXT ·cpuid(SB), NOSPLIT, $0-24
-	MOVL leaf+0(FP), AX
-	MOVL sub+4(FP), CX
-	CPUID
-	MOVL AX, eax+8(FP)
-	MOVL BX, ebx+12(FP)
-	MOVL CX, ecx+16(FP)
-	MOVL DX, edx+20(FP)
-	RET
-
-// func xgetbv() (eax, edx uint32)
-TEXT ·xgetbv(SB), NOSPLIT, $0-8
-	MOVL $0, CX
-	XGETBV
-	MOVL AX, eax+0(FP)
-	MOVL DX, edx+4(FP)
-	RET
-
 // func dotPanelAVX(x, b, out *float32, n, stride, rows int)
 //
 // out[r] = sum_i x[i]*b[r*stride+i], accumulated in 8 float32 lanes

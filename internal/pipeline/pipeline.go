@@ -259,13 +259,16 @@ func validate(cfg Config) error {
 }
 
 // resolveTelemetry fills cfg.Telemetry with a private collector when the
-// caller supplied none, and points every rate-limiting sink at it so
-// suppression totals surface in snapshots. Engines built from the
-// resolved config (each shard of a Sharded) share the one collector.
+// caller supplied none, points every rate-limiting sink at it so
+// suppression totals surface in snapshots, and attaches the kernel
+// dispatch report so /stats and /metrics identify the code paths serving
+// this engine. Engines built from the resolved config (each shard of a
+// Sharded) share the one collector.
 func resolveTelemetry(cfg *Config) *telemetry.Collector {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.New(cfg.ClassNames)
 	}
+	cfg.Telemetry.SetKernels(telemetry.Kernels{Float: hdc.KernelPath(), Packed: bitpack.KernelPath()})
 	for _, s := range cfg.Sinks {
 		if rl, ok := s.(*RateLimitSink); ok {
 			rl.attachTelemetry(cfg.Telemetry)

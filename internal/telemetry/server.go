@@ -29,6 +29,9 @@ const (
 	// MetricLatency is the verdict-latency histogram (capture seconds
 	// between flow completion and verdict).
 	MetricLatency = "cyberhd_verdict_latency_seconds"
+	// MetricKernels is the kernel-dispatch info gauge (labels: float,
+	// packed; constant value 1), present once SetKernels has run.
+	MetricKernels = "cyberhd_kernel_info"
 )
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -61,6 +64,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", MetricLatency, le, cum)
 	}
 	fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", MetricLatency, s.Latency.Sum, MetricLatency, s.Latency.Count)
+	if s.Kernels != (Kernels{}) {
+		fmt.Fprintf(&b, "# HELP %s Kernel implementations selected at startup.\n# TYPE %s gauge\n", MetricKernels, MetricKernels)
+		fmt.Fprintf(&b, "%s{float=\"%s\",packed=\"%s\"} 1\n",
+			MetricKernels, escapeLabel(s.Kernels.Float), escapeLabel(s.Kernels.Packed))
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -103,6 +111,7 @@ type statsJSON struct {
 	FeedbackOK int64            `json:"feedback_ok"`
 	ByClass    map[string]int64 `json:"verdicts_by_class"`
 	Latency    latencyJSON      `json:"verdict_latency"`
+	Kernels    *Kernels         `json:"kernels,omitempty"`
 }
 
 // latencyJSON is the histogram's JSON shape.
@@ -119,13 +128,18 @@ func jsonOf(s Snapshot) statsJSON {
 	for i, n := range s.ByClass {
 		by[s.className(i)] = n
 	}
-	return statsJSON{
+	out := statsJSON{
 		Packets: s.Packets, Flows: s.Flows, Pending: s.Pending(),
 		Alerts: s.Alerts, Suppressed: s.Suppressed, FeedbackOK: s.FeedbackOK,
 		ByClass: by,
 		Latency: latencyJSON{Bounds: s.Latency.Bounds, Counts: s.Latency.Counts,
 			Sum: s.Latency.Sum, Count: s.Latency.Count},
 	}
+	if s.Kernels != (Kernels{}) {
+		k := s.Kernels
+		out.Kernels = &k
+	}
+	return out
 }
 
 // Handler serves the admin endpoints for a collector:

@@ -53,7 +53,28 @@ type Collector struct {
 	// observation sum in capture microseconds so it can be an integer add.
 	latCounts   [NumLatencyBuckets]atomic.Int64
 	latSumMicro atomic.Int64
+
+	// kernels is the dispatch report attached by the engine (atomic so a
+	// late SetKernels cannot race a concurrent scrape).
+	kernels atomic.Pointer[Kernels]
 }
+
+// Kernels identifies which kernel implementations the running build+CPU
+// selected — one path name per domain (e.g. "avx2", "popcnt-swar",
+// "generic") — so benchmark numbers and live scrapes can always be
+// attributed to a code path. Engines attach it via SetKernels; it rides
+// along in every Snapshot and on the /stats and /metrics surfaces.
+type Kernels struct {
+	// Float is the float32 kernel path (hdc: GEMM panels, cosine).
+	Float string `json:"float"`
+	// Packed is the quantized kernel path (bitpack: packed dots,
+	// quantization).
+	Packed string `json:"packed"`
+}
+
+// SetKernels attaches the kernel dispatch report to the collector. Safe
+// from any goroutine; last write wins.
+func (c *Collector) SetKernels(k Kernels) { c.kernels.Store(&k) }
 
 // New builds a collector for the given class names (the engine's verdict
 // labels, copied).
@@ -137,6 +158,8 @@ type Snapshot struct {
 	ByClass []int64
 	// Latency is the verdict-latency histogram.
 	Latency LatencySnapshot
+	// Kernels is the dispatch report, zero until SetKernels is called.
+	Kernels Kernels
 }
 
 // LatencySnapshot is the verdict-latency histogram at snapshot time.
@@ -195,5 +218,8 @@ func (c *Collector) Snapshot() Snapshot {
 	s.Latency.Sum = float64(c.latSumMicro.Load()) / 1e6
 	s.Flows = c.flows.Load()
 	s.Packets = c.packets.Load()
+	if k := c.kernels.Load(); k != nil {
+		s.Kernels = *k
+	}
 	return s
 }

@@ -171,6 +171,40 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestKernelsReport pins the dispatch-report plumbing: absent until
+// SetKernels, then present in snapshots, /metrics (as a 2-field info
+// gauge) and /stats (as a "kernels" object).
+func TestKernelsReport(t *testing.T) {
+	c := New([]string{"benign"})
+	var b strings.Builder
+	if err := c.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), MetricKernels) {
+		t.Fatalf("kernel info emitted before SetKernels:\n%s", b.String())
+	}
+	c.SetKernels(Kernels{Float: "avx2", Packed: "popcnt-swar"})
+	s := c.Snapshot()
+	if s.Kernels.Float != "avx2" || s.Kernels.Packed != "popcnt-swar" {
+		t.Fatalf("snapshot kernels = %+v", s.Kernels)
+	}
+	b.Reset()
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := `cyberhd_kernel_info{float="avx2",packed="popcnt-swar"} 1`
+	if !strings.Contains(b.String(), line) {
+		t.Fatalf("missing %q in:\n%s", line, b.String())
+	}
+	js, err := json.Marshal(jsonOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"kernels":{"float":"avx2","packed":"popcnt-swar"}`; !strings.Contains(string(js), want) {
+		t.Fatalf("missing %q in /stats JSON:\n%s", want, js)
+	}
+}
+
 func TestServerEndpoints(t *testing.T) {
 	c := New([]string{"benign", "dos"})
 	c.AddPackets(3)

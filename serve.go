@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/pipeline"
 	"cyberhd/internal/telemetry"
@@ -60,7 +62,22 @@ type (
 	// MetricsServer is a running admin endpoint serving /metrics
 	// (Prometheus text format), /stats (JSON) and /healthz.
 	MetricsServer = telemetry.Server
+	// KernelDispatch identifies which kernel implementations the running
+	// build+CPU selected, one path name per domain (see Kernels).
+	KernelDispatch = telemetry.Kernels
 )
+
+// Kernels reports which kernel implementations this build+CPU selected at
+// startup: the float32 path (hdc GEMM/cosine — "avx2", "avx" or
+// "generic") and the quantized path (bitpack packed dots and quantizers —
+// "avx2", "avx" or "popcnt-swar"). Engines stamp the same report into
+// their telemetry collector, so live runs expose it at /stats ("kernels")
+// and /metrics (cyberhd_kernel_info); this function answers the question
+// without building an engine — e.g. in startup banners and benchmark
+// records.
+func Kernels() KernelDispatch {
+	return KernelDispatch{Float: hdc.KernelPath(), Packed: bitpack.KernelPath()}
+}
 
 // Source and sink constructors, re-exported from the implementation
 // packages so the full serving runtime is reachable from the facade.
