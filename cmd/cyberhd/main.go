@@ -229,6 +229,8 @@ func cmdDetect(args []string) error {
 	batch := fs.Int("batch", 0, "micro-batch size per engine (0 = classify per flow)")
 	width := fs.Int("width", 0, "quantized inference bitwidth: 1, 2, 4, 8, 16 or 32 (0 = float32)")
 	tick := fs.Float64("tick", 1, "auto-tick interval in capture seconds (bounds batched-verdict delay; < 0 disables)")
+	overload := fs.String("overload", "lossless", "ingress admission policy: lossless (blocking, never drops) or bounded (bounded-latency admission with counted shedding)")
+	tenantRate := fs.Float64("tenant-rate", 0, "bounded mode: cap each tenant (/24 of the canonical flow key) at this many packets per capture second (0 disables)")
 	jsonl := fs.String("jsonl", "", "append alerts as JSON lines to this file ('-' = stdout)")
 	metricsAddr := fs.String("metrics", "", "serve live /metrics (Prometheus), /stats (JSON) and /healthz on this address for the whole run")
 	metricsLinger := fs.Float64("metrics-linger", 0, "keep the -metrics endpoint up this many seconds after the run (for scrapers that poll final counters)")
@@ -237,6 +239,18 @@ func cmdDetect(args []string) error {
 	fs.Parse(args)
 	if *width != 0 && !bitpack.Width(*width).Valid() {
 		return fmt.Errorf("detect: -width %d not one of %v", *width, bitpack.Widths)
+	}
+	var pol cyberhd.OverloadPolicy
+	switch *overload {
+	case "lossless":
+		if *tenantRate > 0 {
+			return fmt.Errorf("detect: -tenant-rate requires -overload bounded (lossless never drops)")
+		}
+	case "bounded":
+		pol.Mode = cyberhd.OverloadBounded
+		pol.TenantRate = *tenantRate
+	default:
+		return fmt.Errorf("detect: -overload %q not one of lossless, bounded", *overload)
 	}
 
 	// Bind the admin endpoint before the (slow) training step: liveness is
@@ -286,6 +300,7 @@ func cmdDetect(args []string) error {
 		cyberhd.WithQuantized(cyberhd.Width(*width)),
 		cyberhd.WithShards(*shards),
 		cyberhd.WithTickInterval(*tick),
+		cyberhd.WithOverloadPolicy(pol),
 	}
 	if tel != nil {
 		opts = append(opts, cyberhd.WithTelemetry(tel))
@@ -331,6 +346,16 @@ func cmdDetect(args []string) error {
 			fmt.Printf("sharded engine: %d flow-hash shards\n", n)
 		}
 	}
+	if pol.Mode == cyberhd.OverloadBounded {
+		if pol.TenantRate > 0 {
+			fmt.Printf("overload policy: bounded (max-wait %v, tenant-rate %g pkt/s per /24)\n",
+				pipeline.DefaultMaxWait, pol.TenantRate)
+		} else {
+			fmt.Printf("overload policy: bounded (max-wait %v)\n", pipeline.DefaultMaxWait)
+		}
+	} else {
+		fmt.Println("overload policy: lossless (blocking ingress, never drops)")
+	}
 
 	st, err := cyberhd.Serve(context.Background(), det, src, opts...)
 	if err != nil {
@@ -349,6 +374,13 @@ func cmdDetect(args []string) error {
 		}
 	}
 	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
+	if pol.Mode == cyberhd.OverloadBounded {
+		// Always printed in bounded mode (even when zero): the accounting
+		// line CI greps, offered = processed + dropped.
+		fmt.Printf("dropped %d packets (backpressure=%d new_flow_shed=%d tenant_rate=%d)\n",
+			st.DroppedTotal(), st.Dropped[cyberhd.DropBackpressure],
+			st.Dropped[cyberhd.DropNewFlowShed], st.Dropped[cyberhd.DropTenantRate])
+	}
 	if tel != nil {
 		s := tel.Snapshot()
 		if s.Latency.Count > 0 {

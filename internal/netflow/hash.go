@@ -52,3 +52,23 @@ func (p *Packet) ShardKey() uint64 {
 	k, _ := KeyOf(p)
 	return k.Hash()
 }
+
+// Tenant returns the admission-fairness key of the flow: the /bits IPv4
+// prefix of the canonical key's IPA (the numerically smaller endpoint
+// address), so both directions of a flow always bill the same tenant
+// and one subnet's token bucket never charges another's. bits outside
+// (0, 32) keys per exact address.
+func (k FlowKey) Tenant(bits int) uint64 {
+	if bits <= 0 || bits >= 32 {
+		return uint64(k.IPA)
+	}
+	return uint64(k.IPA >> (32 - bits))
+}
+
+// TenantKey returns the per-tenant admission key of p's bidirectional
+// flow — Tenant(bits) of the canonical FlowKey, identical for both
+// directions (the default key of the overload gate's token buckets).
+func (p *Packet) TenantKey(bits int) uint64 {
+	k, _ := KeyOf(p)
+	return k.Tenant(bits)
+}

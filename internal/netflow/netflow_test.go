@@ -381,3 +381,32 @@ func TestFlushOrderDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestTenantKeyDirectionInvariant pins the overload gate's fairness
+// key: both directions of a flow bill the same tenant, and the tenant
+// is the /bits prefix of the canonical key's lower endpoint.
+func TestTenantKeyDirectionInvariant(t *testing.T) {
+	fwd := &Packet{SrcIP: 0x0A000102, DstIP: 0x0B010203, SrcPort: 443, DstPort: 51000, Proto: TCP}
+	bwd := &Packet{SrcIP: 0x0B010203, DstIP: 0x0A000102, SrcPort: 51000, DstPort: 443, Proto: TCP}
+	for _, bits := range []int{8, 16, 24, 32} {
+		if a, b := fwd.TenantKey(bits), bwd.TenantKey(bits); a != b {
+			t.Fatalf("bits=%d: fwd tenant %x != bwd tenant %x", bits, a, b)
+		}
+	}
+	// /24 of the numerically smaller endpoint (10.0.1.2 < 11.1.2.3).
+	if got, want := fwd.TenantKey(24), uint64(0x0A0001); got != want {
+		t.Fatalf("/24 tenant = %x, want %x", got, want)
+	}
+	// Out-of-range widths key per exact address.
+	k, _ := KeyOf(fwd)
+	for _, bits := range []int{0, -3, 32, 40} {
+		if got := k.Tenant(bits); got != uint64(k.IPA) {
+			t.Fatalf("bits=%d tenant = %x, want exact address %x", bits, got, k.IPA)
+		}
+	}
+	// Distinct subnets stay distinct tenants.
+	other := &Packet{SrcIP: 0x0A000202, DstIP: 0x0B010203, SrcPort: 443, DstPort: 51000, Proto: TCP}
+	if fwd.TenantKey(24) == other.TenantKey(24) {
+		t.Fatal("different /24 subnets billed the same tenant")
+	}
+}

@@ -1,0 +1,455 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"cyberhd/internal/datasets"
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
+	"cyberhd/internal/traffic"
+)
+
+// stubModel answers benign instantly — for admission tests that never
+// look at verdicts, sparing the training cost of buildModel.
+type stubModel struct{}
+
+func (stubModel) Predict([]float32) int { return 0 }
+
+// slowModel spends a fixed wall-clock delay per verdict, turning any
+// feed loop into an overload: ingestion outruns classification by
+// orders of magnitude.
+type slowModel struct{ delay time.Duration }
+
+func (m slowModel) Predict([]float32) int {
+	time.Sleep(m.delay)
+	return 0
+}
+
+// blockingModel parks every Predict until release closes, signalling
+// entry on entered — the deterministic way to wedge a worker goroutine
+// so ingress buffers fill.
+type blockingModel struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (m *blockingModel) Predict([]float32) int {
+	select {
+	case m.entered <- struct{}{}:
+	default: // drain-time verdicts after release: no listener anymore
+	}
+	<-m.release
+	return 0
+}
+
+// fastCfg assembles a valid engine config around model with no trained
+// detector: an identity-shaped normalizer and two classes.
+func fastCfg(model Classifier) Config {
+	return Config{
+		Model: model,
+		Normalizer: &datasets.Normalizer{
+			Mean:   make([]float32, netflow.NumFeatures),
+			InvStd: make([]float32, netflow.NumFeatures),
+		},
+		ClassNames: []string{"benign", "attack"},
+	}
+}
+
+// tcpPkt builds one TCP packet at capture time at.
+func tcpPkt(src, dst uint32, sport, dport uint16, at float64, flags uint8) netflow.Packet {
+	return netflow.Packet{
+		Time: at, SrcIP: src, DstIP: dst, SrcPort: sport, DstPort: dport,
+		Proto: netflow.TCP, Length: 60, HeaderLen: 40, Flags: flags,
+	}
+}
+
+// TestTryFeedEngineAlwaysAdmits pins the synchronous engine's admission
+// contract: no ingress buffer means TryFeed/FeedWithin always succeed —
+// until Close, after which both observably refuse (unlike Feed's silent
+// no-op).
+func TestTryFeedEngineAlwaysAdmits(t *testing.T) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPkt(1, 2, 10, 20, 0.1, 0)
+	if !eng.TryFeed(p) {
+		t.Fatal("TryFeed refused on an open synchronous engine")
+	}
+	if !eng.FeedWithin(p, 0) {
+		t.Fatal("FeedWithin refused on an open synchronous engine")
+	}
+	eng.Close()
+	if eng.TryFeed(p) {
+		t.Fatal("TryFeed admitted after Close")
+	}
+	if eng.FeedWithin(p, time.Millisecond) {
+		t.Fatal("FeedWithin admitted after Close")
+	}
+	if got := eng.Stats().Packets; got != 2 {
+		t.Fatalf("Packets = %d, want 2", got)
+	}
+}
+
+// fillConcurrent wedges a channel-fed stream: an RST-terminated flow
+// blocks the worker inside Predict (termination is only checked from a
+// flow's second packet on), then one more packet fills the 1-slot
+// buffer. Three packets offered, all admitted.
+func fillConcurrent(t *testing.T, s Stream, m *blockingModel) {
+	t.Helper()
+	s.Feed(tcpPkt(1, 2, 10, 20, 0.1, 0))
+	s.Feed(tcpPkt(1, 2, 10, 20, 0.2, netflow.RST)) // terminates the flow -> Predict blocks
+	select {
+	case <-m.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached Predict")
+	}
+	s.Feed(tcpPkt(1, 2, 11, 21, 0.3, 0)) // parks in the 1-slot buffer
+}
+
+// TestTryFeedConcurrentFullBuffer pins the bounded-admission semantics
+// of the background-worker engine: a full ingress buffer refuses TryFeed
+// immediately and FeedWithin after its wait, and admission reopens when
+// the worker drains.
+func TestTryFeedConcurrentFullBuffer(t *testing.T) {
+	m := &blockingModel{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	c, err := NewConcurrent(fastCfg(m), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillConcurrent(t, c, m)
+	p := tcpPkt(1, 2, 12, 22, 0.4, 0)
+	if c.TryFeed(p) {
+		t.Fatal("TryFeed admitted into a full buffer")
+	}
+	if c.FeedWithin(p, 2*time.Millisecond) {
+		t.Fatal("FeedWithin admitted into a buffer that stayed full")
+	}
+	close(m.release)
+	if !c.FeedWithin(p, 5*time.Second) {
+		t.Fatal("FeedWithin refused after the worker drained")
+	}
+	c.Close()
+	if c.TryFeed(p) || c.FeedWithin(p, time.Millisecond) {
+		t.Fatal("admission variants admitted after Close")
+	}
+	if got := c.Stats().Packets; got != 4 {
+		t.Fatalf("Packets = %d, want 4", got)
+	}
+}
+
+// TestTryFeedShardedFullBuffer is the sharded spelling of the same
+// contract: the target shard's full buffer refuses, and post-Close both
+// variants return false.
+func TestTryFeedShardedFullBuffer(t *testing.T) {
+	m := &blockingModel{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	cfg := fastCfg(m)
+	cfg.Shards = 1
+	cfg.ShardBuffer = 1
+	s, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillConcurrent(t, s, m)
+	p := tcpPkt(1, 2, 12, 22, 0.4, 0)
+	if s.TryFeed(p) {
+		t.Fatal("TryFeed admitted into a full shard buffer")
+	}
+	if s.FeedWithin(p, 2*time.Millisecond) {
+		t.Fatal("FeedWithin admitted into a shard buffer that stayed full")
+	}
+	close(m.release)
+	s.Close()
+	if s.TryFeed(p) || s.FeedWithin(p, time.Millisecond) {
+		t.Fatal("admission variants admitted after Close")
+	}
+}
+
+// TestGateTenantRateDeterministic pins per-tenant fairness on the
+// capture clock: a noisy subnet exhausts its token bucket and drops
+// exactly its excess, a quiet subnet paced within its rate loses
+// nothing — deterministically, independent of wall-clock speed.
+func TestGateTenantRateDeterministic(t *testing.T) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped []telemetry.DropReason
+	g := NewGate(eng, OverloadPolicy{
+		TenantRate:  1,
+		TenantBurst: 2,
+		OnDrop:      func(_ netflow.Packet, r telemetry.DropReason) { dropped = append(dropped, r) },
+	})
+	// Noisy tenant 10.0.0.0/24: ten flows in the same capture instant,
+	// burst 2 -> 2 admitted, 8 refused.
+	noisySrc, noisyDst := uint32(0x0A000001), uint32(0x0B000001)
+	for i := 0; i < 10; i++ {
+		g.Feed(tcpPkt(noisySrc, noisyDst, uint16(1000+i), 80, 1.0, 0))
+	}
+	// Quiet tenant 12.0.0.0/24: three flows paced at its refill rate, all
+	// admitted (burst 2, +0.5 tokens per half capture second).
+	quietSrc, quietDst := uint32(0x0C000001), uint32(0x0D000001)
+	for i, at := range []float64{1.0, 1.5, 2.0} {
+		g.Feed(tcpPkt(quietSrc, quietDst, uint16(2000+i), 80, at, 0))
+	}
+	g.Close()
+	st := g.Stats()
+	if st.Packets != 5 {
+		t.Fatalf("admitted %d packets, want 5 (2 noisy + 3 quiet)", st.Packets)
+	}
+	if st.Dropped[telemetry.DropTenantRate] != 8 {
+		t.Fatalf("tenant-rate drops = %d, want 8", st.Dropped[telemetry.DropTenantRate])
+	}
+	if st.DroppedTotal() != 8 {
+		t.Fatalf("DroppedTotal = %d, want 8", st.DroppedTotal())
+	}
+	if len(dropped) != 8 {
+		t.Fatalf("OnDrop saw %d packets, want 8", len(dropped))
+	}
+	for _, r := range dropped {
+		if r != telemetry.DropTenantRate {
+			t.Fatalf("OnDrop reason = %v, want tenant_rate", r)
+		}
+	}
+}
+
+// TestGateShedsNewFlowsUnderLatency walks the state machine end to end:
+// a latency spike past the bound sheds exactly the packets that would
+// start new flows (mid-flow packets keep flowing), and quiet evaluation
+// windows relax the state one step at a time back to normal.
+func TestGateShedsNewFlowsUnderLatency(t *testing.T) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(eng, OverloadPolicy{EvalEvery: 1, LatencyBound: 0.5})
+	tel := g.Telemetry()
+
+	// An admitted flow, pre-spike, with no termination flags: the gate
+	// remembers it as assembled.
+	g.Feed(tcpPkt(1, 2, 10, 20, 1.0, 0))
+	if got := g.State(); got != OverloadNormal {
+		t.Fatalf("state = %v before any load, want normal", got)
+	}
+
+	// 100 verdicts at ~2s capture latency: p99 lands in the 2.5s bucket,
+	// far past the 0.5s bound.
+	for i := 0; i < 100; i++ {
+		tel.ObserveLatency(2.0)
+	}
+	newFlow := tcpPkt(3, 4, 30, 40, 1.1, 0)
+	if g.TryFeed(newFlow) {
+		t.Fatal("new flow admitted during a latency spike")
+	}
+	if got := g.State(); got != OverloadShedding {
+		t.Fatalf("state = %v after latency spike, want shedding", got)
+	}
+	if got := g.Stats().Dropped[telemetry.DropNewFlowShed]; got != 1 {
+		t.Fatalf("new-flow sheds = %d, want 1", got)
+	}
+	// Quiet windows (no new latency observations) step the state down
+	// one evaluation at a time — and mid-flow traffic of the known flow
+	// was admissible even while still shedding.
+	if !g.TryFeed(tcpPkt(1, 2, 10, 20, 1.2, 0)) {
+		t.Fatal("known-flow packet refused while recovering")
+	}
+	if got := g.State(); got != OverloadPressured {
+		t.Fatalf("state = %v after one quiet window, want pressured", got)
+	}
+	if !g.TryFeed(newFlow) {
+		t.Fatal("new flow refused in pressured state (only shedding refuses)")
+	}
+	if got := g.State(); got != OverloadNormal {
+		t.Fatalf("state = %v after two quiet windows, want normal", got)
+	}
+	if got := tel.Snapshot().OverloadStateName(); got != "normal" {
+		t.Fatalf("telemetry overload state = %q, want normal", got)
+	}
+	g.Close()
+}
+
+// TestGateBackpressureCounted pins the third drop reason: a wedged
+// worker with a full buffer makes the gate's bounded wait expire, and
+// the refusal counts as backpressure (with the callback observing it).
+func TestGateBackpressureCounted(t *testing.T) {
+	m := &blockingModel{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	c, err := NewConcurrent(fastCfg(m), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []telemetry.DropReason
+	g := NewGate(c, OverloadPolicy{
+		MaxWait: time.Millisecond,
+		OnDrop:  func(_ netflow.Packet, r telemetry.DropReason) { reasons = append(reasons, r) },
+	})
+	fillConcurrent(t, g, m)
+	g.Feed(tcpPkt(1, 2, 12, 22, 0.4, 0)) // buffer full: waits MaxWait, then drops
+	if got := g.Stats().Dropped[telemetry.DropBackpressure]; got != 1 {
+		t.Fatalf("backpressure drops = %d, want 1", got)
+	}
+	if len(reasons) != 1 || reasons[0] != telemetry.DropBackpressure {
+		t.Fatalf("OnDrop reasons = %v, want [backpressure]", reasons)
+	}
+	close(m.release)
+	g.Close()
+	st := g.Stats()
+	if st.Packets != 3 {
+		t.Fatalf("admitted %d packets, want 3", st.Packets)
+	}
+	if st.Packets+st.DroppedTotal() != 4 {
+		t.Fatalf("accounting: %d admitted + %d dropped != 4 offered", st.Packets, st.DroppedTotal())
+	}
+}
+
+// TestP99Since pins the histogram-delta percentile the state machine
+// runs on.
+func TestP99Since(t *testing.T) {
+	var prev, cur [telemetry.NumLatencyBuckets]int64
+	if p, n := p99Since(&prev, &cur); p != 0 || n != 0 {
+		t.Fatalf("empty window: p99 = %v over %d, want 0 over 0", p, n)
+	}
+	cur[0] = 100 // all observations <= first bound
+	if p, n := p99Since(&prev, &cur); p != telemetry.LatencyBuckets[0] || n != 100 {
+		t.Fatalf("fast window: p99 = %v over %d, want %v over 100", p, n, telemetry.LatencyBuckets[0])
+	}
+	prev = cur // only the delta counts
+	cur[telemetry.NumLatencyBuckets-1] += 10
+	if p, _ := p99Since(&prev, &cur); !math.IsInf(p, 1) {
+		t.Fatalf("overflow-bucket window: p99 = %v, want +Inf", p)
+	}
+	// 98 fast + 2 slow: more than 1% of the window is slow, so the 99th
+	// percentile must reach the slow bucket (99 fast + 1 slow would not —
+	// 99% of observations already sit under the first bound).
+	prev, cur = [telemetry.NumLatencyBuckets]int64{}, [telemetry.NumLatencyBuckets]int64{}
+	cur[0], cur[6] = 98, 2
+	if p, _ := p99Since(&prev, &cur); p != telemetry.LatencyBuckets[6] {
+		t.Fatalf("tail window: p99 = %v, want %v", p, telemetry.LatencyBuckets[6])
+	}
+}
+
+// TestRunnerInstallsGateOnlyWhenBounded pins the opt-in: the zero
+// policy serves the bare engine (bit-identical lossless path), bounded
+// mode wraps it in the gate.
+func TestRunnerInstallsGateOnlyWhenBounded(t *testing.T) {
+	cfg := fastCfg(stubModel{})
+	src := netflow.NewSliceSource(nil)
+	r, err := NewRunner(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, gated := r.Stream.(*Gate); gated {
+		t.Fatal("lossless default installed a gate")
+	}
+	if _, ok := r.Stream.(*Engine); !ok {
+		t.Fatalf("lossless runner stream is %T, want *Engine", r.Stream)
+	}
+	cfg.Overload.Mode = OverloadBounded
+	r, err = NewRunner(cfg, netflow.NewSliceSource(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Stream.(*Gate); !ok {
+		t.Fatalf("bounded runner stream is %T, want *Gate", r.Stream)
+	}
+	r.Stream.Close()
+}
+
+// TestGatePermissiveBoundedBitIdentical pins determinism under the
+// gate: over the synchronous engine (no ingress buffer, sub-bound
+// verdict latency, no tenant rate) a bounded policy admits everything,
+// so verdicts stay bit-identical to the ungated engine and every drop
+// counter reads zero.
+func TestGatePermissiveBoundedBitIdentical(t *testing.T) {
+	cfg, live := buildModel(t)
+	want := directDrive(t, cfg, live.Packets)
+
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(eng, OverloadPolicy{})
+	for i := range live.Packets {
+		g.Feed(live.Packets[i])
+	}
+	g.Close()
+	got := g.Stats()
+	statsEqual(t, "gated", got, want)
+	if got.DroppedTotal() != 0 {
+		t.Fatalf("permissive gate dropped %d packets", got.DroppedTotal())
+	}
+}
+
+// TestBoundedSaturationAccounting is the saturation harness: a model
+// orders of magnitude slower than the unpaced feed (ingress at memory
+// speed vs 200µs per verdict — far beyond 10x capacity), small shard
+// buffers, a tight admission wait. The run must terminate promptly
+// (bounded admission), shed a meaningful share of the load, and account
+// for every single packet: offered = admitted + dropped, across stats
+// and telemetry.
+func TestBoundedSaturationAccounting(t *testing.T) {
+	cfg := fastCfg(slowModel{delay: 200 * time.Microsecond})
+	cfg.Shards = 2
+	cfg.ShardBuffer = 4
+	cfg.TickInterval = -1 // pure feed pressure, no tick messages in the buffers
+	cfg.Overload = OverloadPolicy{
+		Mode:      OverloadBounded,
+		MaxWait:   50 * time.Microsecond,
+		EvalEvery: 32,
+	}
+	live := traffic.Generate(traffic.Config{Sessions: 300, Seed: 5})
+	offered := len(live.Packets)
+
+	r, err := NewRunner(cfg, netflow.NewSliceSource(live.Packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if st.Packets+st.DroppedTotal() != offered {
+		t.Fatalf("accounting broken: %d admitted + %d dropped != %d offered",
+			st.Packets, st.DroppedTotal(), offered)
+	}
+	if st.DroppedTotal() == 0 {
+		t.Fatal("saturated run shed nothing — the overload never engaged")
+	}
+	if st.Dropped[telemetry.DropTenantRate] != 0 {
+		t.Fatalf("tenant-rate drops = %d with no tenant rate configured",
+			st.Dropped[telemetry.DropTenantRate])
+	}
+	snap := r.Telemetry().Snapshot()
+	if int(snap.DroppedTotal()) != st.DroppedTotal() {
+		t.Fatalf("telemetry dropped %d != stats dropped %d", snap.DroppedTotal(), st.DroppedTotal())
+	}
+	// The latency bound on the run itself: lossless feeding would wait on
+	// the slow model for nearly every packet (offered x 200µs); bounded
+	// admission must finish in a small fraction of that.
+	if lossless := time.Duration(offered) * 200 * time.Microsecond; elapsed > lossless/2 {
+		t.Fatalf("bounded run took %v, more than half the lossless floor %v", elapsed, lossless)
+	}
+}
+
+// BenchmarkOverloadIngress measures the gate's per-packet admission
+// cost over the synchronous engine — the overhead bounded mode adds to
+// the hot feed path.
+func BenchmarkOverloadIngress(b *testing.B) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := NewGate(eng, OverloadPolicy{TenantRate: 1e12})
+	p := tcpPkt(1, 2, 10, 20, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Time = float64(i) * 1e-6
+		g.Feed(p)
+	}
+}

@@ -15,6 +15,7 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"cyberhd/internal/bitpack"
 	"cyberhd/internal/core"
@@ -71,6 +72,19 @@ type Stats struct {
 	ByClass []int
 	// FeedbackOK counts feedback samples that required no model change.
 	FeedbackOK int
+	// Dropped counts packets refused at ingress per telemetry.DropReason,
+	// always zero under the default lossless policy. The bounded-overload
+	// accounting invariant is offered = Packets + DroppedTotal().
+	Dropped [telemetry.NumDropReasons]int
+}
+
+// DroppedTotal sums refused packets across all drop reasons.
+func (s Stats) DroppedTotal() int {
+	total := 0
+	for _, n := range s.Dropped {
+		total += n
+	}
+	return total
 }
 
 // statsOf converts a telemetry snapshot to the engine counter shape.
@@ -84,6 +98,9 @@ func statsOf(s telemetry.Snapshot) Stats {
 	}
 	for i, v := range s.ByClass {
 		st.ByClass[i] = int(v)
+	}
+	for i, v := range s.Dropped {
+		st.Dropped[i] = int(v)
 	}
 	return st
 }
@@ -157,6 +174,14 @@ type Config struct {
 	// ShardBuffer is the bounded ingress buffer per shard for NewSharded
 	// (<= 0 selects 1024). Ignored by New and NewConcurrent.
 	ShardBuffer int
+	// Overload is the ingress admission policy applied by NewRunner (and
+	// the facade's Serve). The zero value is the lossless default: no gate
+	// is installed and serving is bit-identical to every release before
+	// the overload control plane existed. Overload.Mode == OverloadBounded
+	// wraps the engine in a Gate — see OverloadPolicy. Ignored by New,
+	// NewConcurrent and NewSharded themselves (wrap with NewGate by hand
+	// when driving an engine directly).
+	Overload OverloadPolicy
 }
 
 // Engine is the synchronous detection pipeline.
@@ -311,6 +336,22 @@ func (e *Engine) Feed(p netflow.Packet) {
 	}
 	e.asm.Add(&p)
 }
+
+// TryFeed processes one packet synchronously, reporting whether it was
+// admitted. The synchronous engine has no ingress buffer, so admission
+// succeeds whenever the engine is open; after Close it returns false
+// (the packet was not ingested).
+func (e *Engine) TryFeed(p netflow.Packet) bool {
+	if e.closed {
+		return false
+	}
+	e.Feed(p)
+	return true
+}
+
+// FeedWithin is exactly TryFeed on the synchronous engine — there is no
+// buffer whose space could be waited for. False after Close.
+func (e *Engine) FeedWithin(p netflow.Packet, _ time.Duration) bool { return e.TryFeed(p) }
 
 // Tick evicts flows idle at capture time now (call periodically on live
 // streams with silence gaps) and drains any partially-filled micro-batch
@@ -532,10 +573,66 @@ func (c *Concurrent) send(m streamMsg) {
 	c.in <- m
 }
 
+// trySend enqueues one message only when that cannot block, reporting
+// whether it was accepted; false when the stream is closed or the
+// buffer is full right now.
+func (c *Concurrent) trySend(m streamMsg) bool {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed {
+		return false
+	}
+	select {
+	case c.in <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendWithin enqueues one message, waiting at most wait for buffer
+// space. Like Feed, a waiting sender holds the close gate's read side,
+// so a concurrent Close waits out at most one admission bound.
+func (c *Concurrent) sendWithin(m streamMsg, wait time.Duration) bool {
+	if c.trySend(m) {
+		return true
+	}
+	if wait <= 0 {
+		return false
+	}
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed {
+		return false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case c.in <- m:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// occupancy reports the ingress buffer's fill and capacity — the
+// queue-pressure signal the overload gate's state machine polls.
+func (c *Concurrent) occupancy() (int, int) { return len(c.in), cap(c.in) }
+
 // Feed enqueues one packet (blocks when the buffer is full — lossless by
 // design; an IDS that silently drops packets hides exactly the traffic an
 // attacker would send). After Close it is a defined no-op.
 func (c *Concurrent) Feed(p netflow.Packet) { c.send(streamMsg{pkt: p}) }
+
+// TryFeed enqueues one packet only when that cannot block, reporting
+// whether it was admitted. False when the buffer is full or after Close.
+func (c *Concurrent) TryFeed(p netflow.Packet) bool { return c.trySend(streamMsg{pkt: p}) }
+
+// FeedWithin enqueues one packet, waiting at most wait for buffer space,
+// reporting whether it was admitted. False after Close.
+func (c *Concurrent) FeedWithin(p netflow.Packet, wait time.Duration) bool {
+	return c.sendWithin(streamMsg{pkt: p}, wait)
+}
 
 // Tick enqueues an idle-eviction tick at capture time now, ordered with
 // the packets around it. After Close it is a defined no-op.

@@ -89,6 +89,12 @@ func NewRunner(cfg Config, src netflow.PacketSource) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Overload.Mode == OverloadBounded {
+		// Bounded mode wraps the engine in the admission gate; the
+		// lossless default installs nothing, keeping the no-gate path
+		// bit-identical to every release before overload control.
+		s = NewGate(s, cfg.Overload)
+	}
 	return &Runner{
 		Stream: s, Source: src, TickInterval: cfg.TickInterval,
 		Progress: cfg.Progress, ProgressInterval: cfg.ProgressInterval,

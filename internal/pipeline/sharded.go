@@ -3,6 +3,7 @@ package pipeline
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/telemetry"
@@ -153,6 +154,66 @@ func (s *Sharded) Feed(p netflow.Packet) {
 	}
 	i := int(p.ShardKey() % uint64(len(s.shards)))
 	s.shards[i].in <- streamMsg{pkt: p}
+}
+
+// TryFeed routes one packet to its flow's shard only when that cannot
+// block, reporting whether it was admitted. False when the shard's
+// buffer is full right now or after Close.
+func (s *Sharded) TryFeed(p netflow.Packet) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	i := int(p.ShardKey() % uint64(len(s.shards)))
+	select {
+	case s.shards[i].in <- streamMsg{pkt: p}:
+		return true
+	default:
+		return false
+	}
+}
+
+// FeedWithin routes one packet to its flow's shard, waiting at most wait
+// for buffer space, reporting whether it was admitted. Like Feed, a
+// waiting sender holds the close gate's read side, so a concurrent Close
+// waits out at most one admission bound. False after Close.
+func (s *Sharded) FeedWithin(p netflow.Packet, wait time.Duration) bool {
+	if s.TryFeed(p) {
+		return true
+	}
+	if wait <= 0 {
+		return false
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	i := int(p.ShardKey() % uint64(len(s.shards)))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case s.shards[i].in <- streamMsg{pkt: p}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// occupancy reports the fill of the fullest shard buffer and the
+// per-shard capacity — the queue-pressure signal the overload gate's
+// state machine polls (the hottest shard stalls ingress first, so the
+// max is the signal that matters).
+func (s *Sharded) occupancy() (int, int) {
+	maxFill, capacity := 0, 0
+	for i := range s.shards {
+		if n := len(s.shards[i].in); n > maxFill {
+			maxFill = n
+		}
+		capacity = cap(s.shards[i].in)
+	}
+	return maxFill, capacity
 }
 
 // Tick broadcasts an idle-eviction tick at capture time now to every

@@ -32,6 +32,12 @@ const (
 	// MetricKernels is the kernel-dispatch info gauge (labels: float,
 	// packed; constant value 1), present once SetKernels has run.
 	MetricKernels = "cyberhd_kernel_info"
+	// MetricDropped is the admission-gate shed counter (label: reason).
+	// Always exported; every reason reads zero in lossless mode.
+	MetricDropped = "cyberhd_packets_dropped_total"
+	// MetricOverloadState is the admission gate's state gauge: 0 normal,
+	// 1 pressured, 2 shedding.
+	MetricOverloadState = "cyberhd_overload_state"
 )
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -52,6 +58,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for i, n := range s.ByClass {
 		fmt.Fprintf(&b, "%s{class=\"%s\"} %d\n", MetricVerdicts, escapeLabel(s.className(i)), n)
 	}
+	fmt.Fprintf(&b, "# HELP %s Packets refused by the admission gate, by reason.\n# TYPE %s counter\n", MetricDropped, MetricDropped)
+	for i, n := range s.Dropped {
+		fmt.Fprintf(&b, "%s{reason=\"%s\"} %d\n", MetricDropped, DropReasonNames[i], n)
+	}
+	fmt.Fprintf(&b, "# HELP %s Admission gate state: 0 normal, 1 pressured, 2 shedding.\n# TYPE %s gauge\n%s %d\n",
+		MetricOverloadState, MetricOverloadState, MetricOverloadState, s.OverloadState)
 	fmt.Fprintf(&b, "# HELP %s Capture-time delay between flow completion and verdict.\n# TYPE %s histogram\n",
 		MetricLatency, MetricLatency)
 	var cum int64
@@ -103,15 +115,18 @@ func (s Snapshot) className(i int) string {
 // statsJSON is the /stats wire shape: the snapshot with per-class counts
 // keyed by class name and the histogram as parallel bound/count arrays.
 type statsJSON struct {
-	Packets    int64            `json:"packets"`
-	Flows      int64            `json:"flows"`
-	Pending    int64            `json:"pending"`
-	Alerts     int64            `json:"alerts"`
-	Suppressed int64            `json:"suppressed"`
-	FeedbackOK int64            `json:"feedback_ok"`
-	ByClass    map[string]int64 `json:"verdicts_by_class"`
-	Latency    latencyJSON      `json:"verdict_latency"`
-	Kernels    *Kernels         `json:"kernels,omitempty"`
+	Packets       int64            `json:"packets"`
+	Flows         int64            `json:"flows"`
+	Pending       int64            `json:"pending"`
+	Alerts        int64            `json:"alerts"`
+	Suppressed    int64            `json:"suppressed"`
+	FeedbackOK    int64            `json:"feedback_ok"`
+	Dropped       map[string]int64 `json:"dropped_by_reason"`
+	DroppedTotal  int64            `json:"dropped_total"`
+	OverloadState string           `json:"overload_state"`
+	ByClass       map[string]int64 `json:"verdicts_by_class"`
+	Latency       latencyJSON      `json:"verdict_latency"`
+	Kernels       *Kernels         `json:"kernels,omitempty"`
 }
 
 // latencyJSON is the histogram's JSON shape.
@@ -128,10 +143,16 @@ func jsonOf(s Snapshot) statsJSON {
 	for i, n := range s.ByClass {
 		by[s.className(i)] = n
 	}
+	dropped := make(map[string]int64, NumDropReasons)
+	for i, n := range s.Dropped {
+		dropped[DropReasonNames[i]] = n
+	}
 	out := statsJSON{
 		Packets: s.Packets, Flows: s.Flows, Pending: s.Pending(),
 		Alerts: s.Alerts, Suppressed: s.Suppressed, FeedbackOK: s.FeedbackOK,
-		ByClass: by,
+		Dropped: dropped, DroppedTotal: s.DroppedTotal(),
+		OverloadState: s.OverloadStateName(),
+		ByClass:       by,
 		Latency: latencyJSON{Bounds: s.Latency.Bounds, Counts: s.Latency.Counts,
 			Sum: s.Latency.Sum, Count: s.Latency.Count},
 	}

@@ -37,6 +37,45 @@ var LatencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5
 // implicit +Inf overflow bucket.
 const NumLatencyBuckets = len(LatencyBuckets) + 1
 
+// DropReason classifies one packet refused by the admission gate in
+// bounded overload mode. Every drop is counted — the serving invariant
+// is offered = admitted (Packets) + ΣDropped, pinned by the saturation
+// tests — and each reason is a separate label of the
+// cyberhd_packets_dropped_total counter.
+type DropReason uint8
+
+// Drop reasons, in telemetry counter order.
+const (
+	// DropBackpressure counts packets refused because the engine's
+	// ingress buffer stayed full past the admission wait bound.
+	DropBackpressure DropReason = iota
+	// DropNewFlowShed counts packets refused in the shedding state
+	// because they would have started a new flow — mid-flow packets of
+	// already-admitted flows are always preferred.
+	DropNewFlowShed
+	// DropTenantRate counts packets refused by a per-tenant token
+	// bucket, so one noisy source degrades alone.
+	DropTenantRate
+	// NumDropReasons is the number of distinct drop counters.
+	NumDropReasons = iota
+)
+
+// DropReasonNames are the cyberhd_packets_dropped_total reason labels,
+// indexed by DropReason.
+var DropReasonNames = [NumDropReasons]string{"backpressure", "new_flow_shed", "tenant_rate"}
+
+// String returns the counter label of the reason.
+func (r DropReason) String() string {
+	if int(r) < len(DropReasonNames) {
+		return DropReasonNames[r]
+	}
+	return "unknown"
+}
+
+// OverloadStateNames label the overload-state gauge values: 0 normal,
+// 1 pressured, 2 shedding (see pipeline.OverloadState).
+var OverloadStateNames = [...]string{"normal", "pressured", "shedding"}
+
 // Collector accumulates serving counters with lock-free atomics. Build
 // one with New; the zero value is not usable (per-class counters are
 // sized to the class list). All methods are safe from any goroutine.
@@ -53,6 +92,11 @@ type Collector struct {
 	// observation sum in capture microseconds so it can be an integer add.
 	latCounts   [NumLatencyBuckets]atomic.Int64
 	latSumMicro atomic.Int64
+
+	// overload admission counters: shed packets by reason, plus the
+	// gate's current state (0 normal, 1 pressured, 2 shedding).
+	dropped       [NumDropReasons]atomic.Int64
+	overloadState atomic.Int32
 
 	// kernels is the dispatch report attached by the engine (atomic so a
 	// late SetKernels cannot race a concurrent scrape).
@@ -135,6 +179,27 @@ func (c *Collector) ObserveLatency(seconds float64) {
 // change (the verdict was already correct).
 func (c *Collector) FeedbackUnchanged() { c.feedbackOK.Add(1) }
 
+// AddDropped counts n packets refused by the admission gate for the
+// given reason. Out-of-range reasons are ignored defensively.
+func (c *Collector) AddDropped(r DropReason, n int) {
+	if int(r) < NumDropReasons {
+		c.dropped[r].Add(int64(n))
+	}
+}
+
+// SetOverloadState publishes the admission gate's current state (an
+// OverloadStateNames index). Safe from any goroutine; last write wins.
+func (c *Collector) SetOverloadState(s int32) { c.overloadState.Store(s) }
+
+// LatencyCountsInto loads the per-bucket verdict-latency counts into
+// dst without allocating — the admission gate's state machine polls
+// this on its evaluation cadence and diffs against the previous load.
+func (c *Collector) LatencyCountsInto(dst *[NumLatencyBuckets]int64) {
+	for i := range c.latCounts {
+		dst[i] = c.latCounts[i].Load()
+	}
+}
+
 // AddSuppressed counts n alerts dropped by rate limiting before reaching
 // their sink.
 func (c *Collector) AddSuppressed(n int) { c.suppressed.Add(int64(n)) }
@@ -152,6 +217,12 @@ type Snapshot struct {
 	FeedbackOK int64
 	// Suppressed counts alerts dropped by rate limiting.
 	Suppressed int64
+	// Dropped counts packets refused by the admission gate, by reason
+	// (indexed by DropReason). All zero in lossless mode.
+	Dropped [NumDropReasons]int64
+	// OverloadState is the admission gate's state at snapshot time (an
+	// OverloadStateNames index); 0 (normal) when no gate is attached.
+	OverloadState int32
 	// Classes are the verdict labels for ByClass (shared, do not modify).
 	Classes []string
 	// ByClass counts verdicts per class index.
@@ -173,6 +244,24 @@ type LatencySnapshot struct {
 	Sum float64
 	// Count is the total number of observations.
 	Count int64
+}
+
+// DroppedTotal returns the packets refused by the admission gate summed
+// over every drop reason.
+func (s Snapshot) DroppedTotal() int64 {
+	var v int64
+	for _, n := range s.Dropped {
+		v += n
+	}
+	return v
+}
+
+// OverloadStateName returns the human label of OverloadState.
+func (s Snapshot) OverloadStateName() string {
+	if int(s.OverloadState) < len(OverloadStateNames) {
+		return OverloadStateNames[s.OverloadState]
+	}
+	return "unknown"
 }
 
 // Pending returns how many completed flows await a verdict (mid-run this
@@ -199,11 +288,15 @@ func (s Snapshot) Pending() int64 {
 // even while writers are mid-flight between two adds.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Suppressed: c.suppressed.Load(),
-		FeedbackOK: c.feedbackOK.Load(),
-		Alerts:     c.alerts.Load(),
-		Classes:    c.classes,
-		ByClass:    make([]int64, len(c.byClass)),
+		Suppressed:    c.suppressed.Load(),
+		FeedbackOK:    c.feedbackOK.Load(),
+		OverloadState: c.overloadState.Load(),
+		Alerts:        c.alerts.Load(),
+		Classes:       c.classes,
+		ByClass:       make([]int64, len(c.byClass)),
+	}
+	for i := range c.dropped {
+		s.Dropped[i] = c.dropped[i].Load()
 	}
 	for i := range c.byClass {
 		s.ByClass[i] = c.byClass[i].Load()

@@ -257,3 +257,62 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("/stats = %+v", st)
 	}
 }
+
+// TestDroppedCounters pins the overload accounting surface: per-reason
+// drop counters, their total, and the overload-state gauge, through
+// Snapshot and both export formats.
+func TestDroppedCounters(t *testing.T) {
+	c := New([]string{"benign", "dos"})
+	c.AddDropped(DropBackpressure, 3)
+	c.AddDropped(DropNewFlowShed, 2)
+	c.AddDropped(DropTenantRate, 1)
+	c.AddDropped(DropReason(200), 9) // out of range: ignored, not a panic
+	c.SetOverloadState(2)
+
+	s := c.Snapshot()
+	if s.Dropped[DropBackpressure] != 3 || s.Dropped[DropNewFlowShed] != 2 || s.Dropped[DropTenantRate] != 1 {
+		t.Fatalf("Dropped = %v", s.Dropped)
+	}
+	if s.DroppedTotal() != 6 {
+		t.Fatalf("DroppedTotal = %d, want 6", s.DroppedTotal())
+	}
+	if s.OverloadStateName() != "shedding" {
+		t.Fatalf("OverloadStateName = %q, want shedding", s.OverloadStateName())
+	}
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cyberhd_packets_dropped_total{reason="backpressure"} 3`,
+		`cyberhd_packets_dropped_total{reason="new_flow_shed"} 2`,
+		`cyberhd_packets_dropped_total{reason="tenant_rate"} 1`,
+		"cyberhd_overload_state 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestDropReasonNames pins the reason/state label vocabulary the CLI,
+// the Prometheus page and the JSON stats all share.
+func TestDropReasonNames(t *testing.T) {
+	want := []string{"backpressure", "new_flow_shed", "tenant_rate"}
+	for r, name := range DropReasonNames {
+		if name != want[r] {
+			t.Fatalf("DropReasonNames[%d] = %q, want %q", r, name, want[r])
+		}
+		if got := DropReason(r).String(); got != want[r] {
+			t.Fatalf("DropReason(%d).String() = %q", r, got)
+		}
+	}
+	if got := DropReason(200).String(); got != "unknown" {
+		t.Fatalf("out-of-range reason String = %q, want unknown", got)
+	}
+	if got := [...]string{"normal", "pressured", "shedding"}; got != OverloadStateNames {
+		t.Fatalf("OverloadStateNames = %v", OverloadStateNames)
+	}
+}

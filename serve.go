@@ -65,6 +65,43 @@ type (
 	// KernelDispatch identifies which kernel implementations the running
 	// build+CPU selected, one path name per domain (see Kernels).
 	KernelDispatch = telemetry.Kernels
+	// OverloadPolicy configures the ingress admission gate: admission
+	// wait bound, shedding thresholds, per-tenant token-bucket rates.
+	// The zero value is the lossless default (no gate installed).
+	OverloadPolicy = pipeline.OverloadPolicy
+	// OverloadMode selects lossless-blocking (default) or bounded-latency
+	// admission — see OverloadLossless and OverloadBounded.
+	OverloadMode = pipeline.OverloadMode
+	// OverloadState is the gate's load-shedding state (normal, pressured,
+	// shedding), readable live via Gate.State and telemetry.
+	OverloadState = pipeline.OverloadState
+	// DropReason labels why an ingress packet was refused (backpressure,
+	// new-flow shedding, tenant rate) — the label on
+	// cyberhd_packets_dropped_total and on WithDropCallback deliveries.
+	DropReason = telemetry.DropReason
+	// Gate is the admission-controlled ingress wrapper around any Stream;
+	// Serve installs one automatically under a bounded OverloadPolicy.
+	Gate = pipeline.Gate
+)
+
+// Overload modes, states and drop reasons, re-exported so policy
+// construction never needs the internal packages.
+const (
+	// OverloadLossless is the default admission mode: Feed blocks on full
+	// buffers and never drops — replay determinism untouched.
+	OverloadLossless = pipeline.OverloadLossless
+	// OverloadBounded bounds ingress latency instead of loss: counted
+	// drops, flow-aware shedding, per-tenant fairness.
+	OverloadBounded = pipeline.OverloadBounded
+	// DropBackpressure counts packets refused because ingress buffers
+	// stayed full past the admission wait bound.
+	DropBackpressure = telemetry.DropBackpressure
+	// DropNewFlowShed counts packets refused in the shedding state
+	// because they would have started a new flow.
+	DropNewFlowShed = telemetry.DropNewFlowShed
+	// DropTenantRate counts packets refused by their tenant's token
+	// bucket.
+	DropTenantRate = telemetry.DropTenantRate
 )
 
 // Kernels reports which kernel implementations this build+CPU selected at
@@ -100,6 +137,10 @@ var (
 	// ServeMetrics starts the admin endpoint (/metrics, /stats, /healthz)
 	// for a collector on addr; close the returned server when done.
 	ServeMetrics = telemetry.ListenAndServe
+	// NewGate wraps a hand-built Stream in the bounded-overload admission
+	// gate — Serve and NewServeRunner do this automatically when the
+	// config's OverloadPolicy is bounded.
+	NewGate = pipeline.NewGate
 )
 
 // EngineOption composes an EngineConfig — the builder form of engine
@@ -185,6 +226,36 @@ func WithTelemetry(t *Telemetry) EngineOption {
 // must not call back into the engine.
 func WithProgress(every float64, fn func(TelemetrySnapshot)) EngineOption {
 	return func(cfg *EngineConfig) { cfg.Progress, cfg.ProgressInterval = fn, every }
+}
+
+// WithOverloadPolicy sets the ingress admission policy for Serve and
+// NewServeRunner. A bounded policy wraps the engine in a Gate: admission
+// waits at most MaxWait, refused packets are dropped and counted
+// (cyberhd_packets_dropped_total{reason=...}), shedding is flow-aware and
+// tenants are rate-isolated — see OverloadPolicy for every knob. The
+// default (and the zero policy) is lossless-blocking, bit-identical to
+// serving without the option. Later WithTenantKey/WithDropCallback
+// options adjust the same policy in place.
+func WithOverloadPolicy(p OverloadPolicy) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Overload = p }
+}
+
+// WithTenantKey overrides how the overload gate's token buckets group
+// packets into tenants (default: the /24 subnet of the canonical flow
+// key's lower endpoint, so both directions of a flow bill the same
+// tenant). Only meaningful together with a bounded overload policy that
+// sets a tenant rate.
+func WithTenantKey(fn func(*Packet) uint64) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Overload.TenantKey = fn }
+}
+
+// WithDropCallback observes every packet the overload gate refuses,
+// with its reason — the hook for mirroring shed traffic to a pcap ring
+// or a sampler. fn runs on the feeding goroutine under the gate lock:
+// keep it fast and never call back into the stream or gate. Only
+// meaningful together with a bounded overload policy.
+func WithDropCallback(fn func(Packet, DropReason)) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Overload.OnDrop = fn }
 }
 
 // WithTickInterval sets the auto-tick period in capture seconds used by

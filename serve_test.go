@@ -232,3 +232,69 @@ func TestServeWithMetricsBadAddr(t *testing.T) {
 		t.Fatal("bound an impossible address")
 	}
 }
+
+// TestOverloadOptionsMatchStruct pins satellite-free equivalence of the
+// two construction paths: WithOverloadPolicy/WithTenantKey/
+// WithDropCallback land on the same EngineConfig.Overload fields a
+// struct-literal caller sets, both paths install the same Gate through
+// NewServeRunner, and a permissive bounded policy over the synchronous
+// engine serves verdicts bit-identical to the lossless default with
+// every drop counter at zero.
+func TestOverloadOptionsMatchStruct(t *testing.T) {
+	det := serveDetector(t)
+	live := GenerateTraffic(TrafficConfig{Sessions: 200, Seed: 31})
+
+	tenant := func(p *Packet) uint64 { return uint64(p.SrcIP) }
+	onDrop := func(Packet, DropReason) {}
+	viaOpts := det.EngineConfig(
+		WithOverloadPolicy(OverloadPolicy{Mode: OverloadBounded, TenantRate: 5}),
+		WithTenantKey(tenant),
+		WithDropCallback(onDrop),
+	)
+	viaStruct := det.EngineConfig()
+	viaStruct.Overload = OverloadPolicy{Mode: OverloadBounded, TenantRate: 5}
+	viaStruct.Overload.TenantKey = tenant
+	viaStruct.Overload.OnDrop = onDrop
+
+	if viaOpts.Overload.Mode != viaStruct.Overload.Mode ||
+		viaOpts.Overload.TenantRate != viaStruct.Overload.TenantRate {
+		t.Fatalf("option path %+v != struct path %+v", viaOpts.Overload, viaStruct.Overload)
+	}
+	if viaOpts.Overload.TenantKey == nil || viaOpts.Overload.OnDrop == nil {
+		t.Fatal("WithTenantKey/WithDropCallback did not land on the policy")
+	}
+	for name, cfg := range map[string]EngineConfig{"options": viaOpts, "struct": viaStruct} {
+		r, err := NewServeRunner(cfg, NewSliceSource(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Stream.(*Gate); !ok {
+			t.Fatalf("%s path: bounded policy built %T, want *Gate", name, r.Stream)
+		}
+		r.Stream.Close()
+	}
+
+	// Functional equivalence: lossless default vs permissive bounded
+	// policy (no tenant rate, synchronous engine that always admits).
+	want, err := det.Serve(context.Background(), NewSliceSource(live.Packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := det.Serve(context.Background(), NewSliceSource(live.Packets),
+		WithOverloadPolicy(OverloadPolicy{Mode: OverloadBounded}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Packets != want.Packets || got.Flows != want.Flows || got.Alerts != want.Alerts {
+		t.Fatalf("bounded-permissive %+v != lossless %+v", got, want)
+	}
+	for c := range want.ByClass {
+		if got.ByClass[c] != want.ByClass[c] {
+			t.Fatalf("ByClass[%d]: bounded %d != lossless %d", c, got.ByClass[c], want.ByClass[c])
+		}
+	}
+	if want.DroppedTotal() != 0 || got.DroppedTotal() != 0 {
+		t.Fatalf("drop counters nonzero: lossless %d, bounded-permissive %d",
+			want.DroppedTotal(), got.DroppedTotal())
+	}
+}
