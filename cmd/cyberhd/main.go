@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"cyberhd"
@@ -232,8 +234,9 @@ func cmdDetect(args []string) error {
 	overload := fs.String("overload", "lossless", "ingress admission policy: lossless (blocking, never drops) or bounded (bounded-latency admission with counted shedding)")
 	tenantRate := fs.Float64("tenant-rate", 0, "bounded mode: cap each tenant (/24 of the canonical flow key) at this many packets per capture second (0 disables)")
 	jsonl := fs.String("jsonl", "", "append alerts as JSON lines to this file ('-' = stdout)")
-	metricsAddr := fs.String("metrics", "", "serve live /metrics (Prometheus), /stats (JSON) and /healthz on this address for the whole run")
+	metricsAddr := fs.String("metrics", "", "serve live /metrics (Prometheus), /stats (JSON), /healthz and the /model control plane on this address for the whole run")
 	metricsLinger := fs.Float64("metrics-linger", 0, "keep the -metrics endpoint up this many seconds after the run (for scrapers that poll final counters)")
+	saveModel := fs.String("save-model", "", "write the trained model as a versioned snapshot to this file (load with the /model control plane or cyberhd.LoadModelSnapshotFile)")
 	progress := fs.Float64("progress", 0, "print a progress line to stderr every N capture seconds (0 disables)")
 	verbose := fs.Bool("v", false, "print every alert")
 	fs.Parse(args)
@@ -254,20 +257,27 @@ func cmdDetect(args []string) error {
 	}
 
 	// Bind the admin endpoint before the (slow) training step: liveness is
-	// answerable immediately, counters read zero until serving starts.
+	// answerable immediately, counters read zero until serving starts. The
+	// /model control plane mounts lazily — it answers 503 until the
+	// detector exists, then hot-swaps in (one atomic pointer store).
 	// CIC-derived detectors label verdicts with the traffic labels.
 	classNames := traffic.LabelNames()
 	var tel *cyberhd.Telemetry
 	var metricsSrv *cyberhd.MetricsServer
+	var lazyPlane *lazyHandler
 	if *metricsAddr != "" {
 		tel = cyberhd.NewTelemetry(classNames)
-		srv, err := cyberhd.ServeMetrics(*metricsAddr, tel)
+		lazyPlane = &lazyHandler{}
+		srv, err := cyberhd.ServeMetricsWith(*metricsAddr, tel, map[string]http.Handler{
+			"/model":  lazyPlane,
+			"/model/": lazyPlane,
+		})
 		if err != nil {
 			return err
 		}
 		metricsSrv = srv
 		defer metricsSrv.Close()
-		fmt.Printf("metrics endpoint: http://%s/metrics (also /stats, /healthz)\n", srv.Addr())
+		fmt.Printf("metrics endpoint: http://%s/metrics (also /stats, /healthz, /model)\n", srv.Addr())
 	}
 
 	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(*trainSessions, *seed), cyberhd.DefaultConfig())
@@ -277,6 +287,31 @@ func cmdDetect(args []string) error {
 	fmt.Println("detector:", det)
 	k := cyberhd.Kernels()
 	fmt.Printf("kernels: float=%s packed=%s\n", k.Float, k.Packed)
+
+	// The control plane serves through a COW wrapper over the trained
+	// model so uploads publish atomically against concurrent reads; the
+	// snapshot file captures the same publication.
+	var cow *cyberhd.COWModel
+	var tap *cyberhd.ShadowTap
+	if *saveModel != "" || lazyPlane != nil {
+		cow = cyberhd.NewCOWModel(det.Model)
+	}
+	if *saveModel != "" {
+		if err := cyberhd.SaveModelSnapshotFile(*saveModel, cow); err != nil {
+			return err
+		}
+		fmt.Printf("model snapshot: %s (version %d)\n", *saveModel, cow.Version())
+	}
+	if lazyPlane != nil {
+		tap = cyberhd.NewShadowTap()
+		plane, err := cyberhd.NewControlPlane(cyberhd.ControlPlaneConfig{
+			Model: cow, Width: cyberhd.Width(*width), Shadow: tap,
+		})
+		if err != nil {
+			return err
+		}
+		lazyPlane.set(plane.Handler())
+	}
 
 	// Ingest: an O(1)-memory capture replay, or generated live traffic.
 	var src cyberhd.PacketSource
@@ -304,6 +339,12 @@ func cmdDetect(args []string) error {
 	}
 	if tel != nil {
 		opts = append(opts, cyberhd.WithTelemetry(tel))
+	}
+	if cow != nil {
+		opts = append(opts, cyberhd.WithModel(cow))
+	}
+	if tap != nil {
+		opts = append(opts, cyberhd.WithShadow(tap))
 	}
 	if *progress > 0 {
 		opts = append(opts, cyberhd.WithProgress(*progress, func(s cyberhd.TelemetrySnapshot) {
@@ -391,6 +432,13 @@ func cmdDetect(args []string) error {
 			}
 			fmt.Println()
 		}
+		if cow != nil {
+			fmt.Printf("serving model version: %d\n", cow.Version())
+		}
+		if s.ShadowFlows > 0 {
+			fmt.Printf("shadow serving: %d flows scored, %d diverged from primary\n",
+				s.ShadowFlows, s.ShadowDivergedTotal())
+		}
 	}
 
 	// Score verdicts against ground truth where available (generated
@@ -438,4 +486,23 @@ func cmdDetect(args []string) error {
 		time.Sleep(time.Duration(*metricsLinger * float64(time.Second)))
 	}
 	return nil
+}
+
+// lazyHandler lets the admin endpoint bind before the control plane
+// exists: requests answer 503 until set stores the real handler (one
+// atomic pointer swap, safe against in-flight requests).
+type lazyHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (l *lazyHandler) set(h http.Handler) { l.h.Store(&h) }
+
+func (l *lazyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := l.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":"model control plane not ready (detector still training)"}`)
 }

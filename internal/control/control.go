@@ -1,0 +1,449 @@
+// Package control is the model control plane of the serving runtime: an
+// HTTP surface, mounted on the telemetry admin endpoint, through which an
+// operator hands a running detector a new model without dropping a
+// packet. It closes the retrain→shadow→promote loop the paper's online-
+// learning story needs in production:
+//
+//	POST   /model              — validated hot reload (mode=reload, default)
+//	POST   /model?mode=shadow  — attach the upload as the shadow candidate
+//	POST   /model/promote      — promote the shadow to primary (atomic swap)
+//	POST   /model/demote       — detach the shadow
+//	GET    /model              — serving status (version, geometry, shadow)
+//
+// Uploads are model snapshots in either persistence format (core.Save v1
+// or core.SaveSnapshot v2). Every upload is decoded, validated against
+// the serving geometry (hyperspace dimensionality, class count, input
+// feature count, recorded quantization width) and scored on a sanity
+// batch BEFORE the serving model is touched; publication is one atomic
+// COW swap (core.COWModel.ReplaceModel), under which a live
+// quantize.AttachLive derive hook re-packs the class memory
+// automatically. A rejected upload therefore leaves the serving version
+// and the verdict stream bit-identically untouched — pinned by the
+// control-plane tests and the differential-replay suite.
+package control
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sync"
+
+	"cyberhd/internal/bitpack"
+	"cyberhd/internal/core"
+	"cyberhd/internal/hdc"
+	"cyberhd/internal/pipeline"
+	"cyberhd/internal/quantize"
+	"cyberhd/internal/rng"
+)
+
+// DefaultMaxUploadBytes caps one model upload (64 MiB — two orders of
+// magnitude above the paper-scale snapshots, small enough that a rogue
+// client cannot balloon the process).
+const DefaultMaxUploadBytes = 64 << 20
+
+// builtinSanityRows is the built-in sanity batch size when the operator
+// supplies none.
+const builtinSanityRows = 64
+
+// SanityBatch is the acceptance gate an uploaded model must pass before
+// publication: the candidate predicts every row of X (normalized model-
+// input features) and the upload is rejected if prediction panics,
+// returns an out-of-range class, or — when labels are present — scores
+// below MinAccuracy. Scoring runs at the plane's serving width, so the
+// gate exercises exactly the inference deployment will serve.
+type SanityBatch struct {
+	// X is the feature matrix (rows are normalized model inputs).
+	X *hdc.Matrix
+	// Y, when non-nil, are the expected classes for the rows of X (len
+	// X.Rows); MinAccuracy applies only when labels are present.
+	Y []int
+	// MinAccuracy is the minimum fraction of correct labeled predictions
+	// (0 accepts any accuracy; range checks still apply).
+	MinAccuracy float64
+}
+
+// sanityWire is the gob shape of a caller-supplied sanity batch (the
+// optional "sanity" part of a multipart upload).
+type sanityWire struct {
+	Rows, Cols  int
+	X           []float32
+	Y           []int
+	MinAccuracy float64
+}
+
+// EncodeSanityBatch writes a caller-side sanity batch in the wire format
+// POST /model accepts as the "sanity" part of a multipart upload.
+func EncodeSanityBatch(w io.Writer, sb SanityBatch) error {
+	if sb.X == nil || sb.X.Rows == 0 {
+		return fmt.Errorf("control: empty sanity batch")
+	}
+	if sb.Y != nil && len(sb.Y) != sb.X.Rows {
+		return fmt.Errorf("control: sanity batch has %d rows, %d labels", sb.X.Rows, len(sb.Y))
+	}
+	return gob.NewEncoder(w).Encode(&sanityWire{
+		Rows: sb.X.Rows, Cols: sb.X.Cols, X: sb.X.Data,
+		Y: sb.Y, MinAccuracy: sb.MinAccuracy,
+	})
+}
+
+// decodeSanityBatch reads the wire format back with the same corruption
+// discipline as the snapshot decoder: errors, never panics.
+func decodeSanityBatch(r io.Reader) (SanityBatch, error) {
+	var wire sanityWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return SanityBatch{}, fmt.Errorf("control: decoding sanity batch: %w", err)
+	}
+	if wire.Rows <= 0 || wire.Cols <= 0 || len(wire.X) != wire.Rows*wire.Cols {
+		return SanityBatch{}, fmt.Errorf("control: corrupt sanity batch (%d values for %d×%d)",
+			len(wire.X), wire.Rows, wire.Cols)
+	}
+	if wire.Y != nil && len(wire.Y) != wire.Rows {
+		return SanityBatch{}, fmt.Errorf("control: sanity batch has %d rows, %d labels", wire.Rows, len(wire.Y))
+	}
+	return SanityBatch{
+		X: &hdc.Matrix{Rows: wire.Rows, Cols: wire.Cols, Data: wire.X},
+		Y: wire.Y, MinAccuracy: wire.MinAccuracy,
+	}, nil
+}
+
+// Config assembles a Plane.
+type Config struct {
+	// Model is the serving COWModel uploads publish into. Required.
+	Model *core.COWModel
+	// Width is the serving quantization width (0 = float32). Uploads
+	// recording a different nonzero width are rejected, and shadow
+	// candidates are packed at this width so divergence measures model
+	// drift, not quantization error.
+	Width bitpack.Width
+	// Shadow, when set, is the engine-attached tap shadow uploads and
+	// promote/demote operate on; without it shadow mode is rejected.
+	Shadow *pipeline.Shadow
+	// Sanity, when non-empty, replaces the built-in sanity batch (64
+	// deterministic in-domain vectors, range-checked only). A
+	// caller-supplied batch on an individual upload overrides both.
+	Sanity SanityBatch
+	// MaxUploadBytes caps one upload (0 selects DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+}
+
+// Plane is the model control plane over one serving COWModel. Build with
+// New, mount Handler on the admin endpoint
+// (telemetry.ListenAndServeWith). All handlers are safe for concurrent
+// requests; upload validation runs outside the swap, so a slow or
+// rejected upload never stalls or perturbs serving.
+type Plane struct {
+	cow    *core.COWModel
+	width  bitpack.Width
+	shadow *pipeline.Shadow
+	sanity SanityBatch
+	maxUp  int64
+
+	// mu guards the shadow bookkeeping (which float model the tap's
+	// candidate was packed from), so promote swaps in exactly the model
+	// the operator watched diverge.
+	mu          sync.Mutex
+	shadowModel *core.Model
+}
+
+// New validates cfg and builds the plane.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("control: nil serving model")
+	}
+	if cfg.Width != 0 && !cfg.Width.Valid() {
+		return nil, fmt.Errorf("control: invalid width %d", cfg.Width)
+	}
+	if cfg.Sanity.X != nil && cfg.Sanity.Y != nil && len(cfg.Sanity.Y) != cfg.Sanity.X.Rows {
+		return nil, fmt.Errorf("control: sanity batch has %d rows, %d labels",
+			cfg.Sanity.X.Rows, len(cfg.Sanity.Y))
+	}
+	maxUp := cfg.MaxUploadBytes
+	if maxUp <= 0 {
+		maxUp = DefaultMaxUploadBytes
+	}
+	return &Plane{
+		cow: cfg.Model, width: cfg.Width, shadow: cfg.Shadow,
+		sanity: cfg.Sanity, maxUp: maxUp,
+	}, nil
+}
+
+// Status is the GET /model response shape.
+type Status struct {
+	// Version is the serving model's COW publication version.
+	Version uint64 `json:"version"`
+	// Classes and Dim are the serving geometry.
+	Classes int `json:"classes"`
+	Dim     int `json:"dim"`
+	// Width is the serving quantization width (0 = float32).
+	Width int `json:"width"`
+	// ShadowActive reports whether a shadow candidate is attached.
+	ShadowActive bool `json:"shadow_active"`
+}
+
+// Status reports the current serving state.
+func (p *Plane) Status() Status {
+	return Status{
+		Version: p.cow.Version(),
+		Classes: p.cow.NumClasses(), Dim: p.cow.Dim(),
+		Width:        int(p.width),
+		ShadowActive: p.shadow != nil && p.shadow.Active(),
+	}
+}
+
+// Handler returns the control-plane routes, rooted at /model. Mount it
+// under both "/model" and "/model/" when registering on a ServeMux.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, p.Status())
+		case http.MethodPost:
+			p.handleUpload(w, r)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use GET for status, POST to upload a model")
+		}
+	})
+	mux.HandleFunc("/model/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		p.handlePromote(w)
+	})
+	mux.HandleFunc("/model/demote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		p.handleDemote(w)
+	})
+	return mux
+}
+
+// handleUpload decodes, validates and sanity-scores one uploaded model,
+// then publishes it — as the primary (mode=reload, one atomic COW swap)
+// or as the shadow candidate (mode=shadow). Every rejection path returns
+// before any serving state is touched.
+func (p *Plane) handleUpload(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "reload"
+	}
+	if mode != "reload" && mode != "shadow" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want reload or shadow)", mode))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, p.maxUp)
+	model := io.Reader(body)
+	sanity := p.sanity
+	if ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && ct == "multipart/form-data" {
+		// Multipart form: required "model" part, optional "sanity" part
+		// (EncodeSanityBatch wire format) overriding the server-side batch.
+		if err := r.ParseMultipartForm(p.maxUp); err != nil {
+			httpError(w, http.StatusBadRequest, "parsing multipart upload: "+err.Error())
+			return
+		}
+		mf, _, err := r.FormFile("model")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, `multipart upload needs a "model" part`)
+			return
+		}
+		defer mf.Close()
+		model = mf
+		if sf, _, err := r.FormFile("sanity"); err == nil {
+			defer sf.Close()
+			sb, err := decodeSanityBatch(sf)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			sanity = sb
+		}
+	}
+
+	m, info, err := core.DecodeSnapshot(model)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding model: "+err.Error())
+		return
+	}
+	if err := p.validate(m, info); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err := p.runSanity(m, sanity); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	switch mode {
+	case "reload":
+		if err := p.cow.ReplaceModel(m); err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"published": true, "version": p.cow.Version(), "source_format": info.Format,
+		})
+	case "shadow":
+		if p.shadow == nil {
+			httpError(w, http.StatusConflict, "no shadow tap attached to the serving engine")
+			return
+		}
+		cand, err := p.servingClassifier(m)
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		p.mu.Lock()
+		p.shadowModel = m
+		p.shadow.Set(cand)
+		p.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"shadow_attached": true, "source_format": info.Format, "width": int(p.width),
+		})
+	}
+}
+
+// handlePromote publishes the current shadow candidate as the primary —
+// one atomic COW swap — and detaches the tap (with identical models
+// serving, divergence is zero by construction, so the tap carries no
+// signal until the next candidate arrives).
+func (p *Plane) handlePromote(w http.ResponseWriter) {
+	p.mu.Lock()
+	m := p.shadowModel
+	p.mu.Unlock()
+	if m == nil || p.shadow == nil {
+		httpError(w, http.StatusConflict, "no shadow candidate to promote")
+		return
+	}
+	if err := p.cow.ReplaceModel(m); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	p.mu.Lock()
+	p.shadowModel = nil
+	p.shadow.Clear()
+	p.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "version": p.cow.Version()})
+}
+
+// handleDemote detaches the shadow candidate (one atomic tap swap); the
+// primary is untouched.
+func (p *Plane) handleDemote(w http.ResponseWriter) {
+	if p.shadow == nil {
+		httpError(w, http.StatusConflict, "no shadow tap attached to the serving engine")
+		return
+	}
+	p.mu.Lock()
+	had := p.shadowModel != nil || p.shadow.Active()
+	p.shadowModel = nil
+	p.shadow.Clear()
+	p.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"demoted": had})
+}
+
+// validate checks an uploaded model against the serving geometry. The
+// serving engine featurizes flows into a fixed input space and scores in
+// a fixed hyperspace, so every mismatch here would be a panic or a
+// silently wrong verdict stream if it reached publication.
+func (p *Plane) validate(m *core.Model, info core.SnapshotInfo) error {
+	if got, want := m.Dim(), p.cow.Dim(); got != want {
+		return fmt.Errorf("model dim %d, serving %d", got, want)
+	}
+	if got, want := m.NumClasses(), p.cow.NumClasses(); got != want {
+		return fmt.Errorf("model has %d classes, serving %d", got, want)
+	}
+	if got, want := m.Enc.InDim(), p.cow.Snapshot().Enc.InDim(); got != want {
+		return fmt.Errorf("model encodes %d input features, serving %d", got, want)
+	}
+	if info.DerivedWidth != 0 && p.width != 0 && info.DerivedWidth != int(p.width) {
+		// The float class matrix is saved either way, so re-packing would
+		// be exact — but a snapshot validated at one deployment width and
+		// uploaded to another is an operator mistake worth refusing.
+		return fmt.Errorf("snapshot recorded %d-bit serving, this plane serves %d-bit",
+			info.DerivedWidth, int(p.width))
+	}
+	return nil
+}
+
+// servingClassifier lowers m to the plane's serving width — exactly what
+// the engine computes — for sanity scoring and shadow attachment.
+func (p *Plane) servingClassifier(m *core.Model) (pipeline.Classifier, error) {
+	if p.width == 0 {
+		return m, nil
+	}
+	return quantize.FromCore(m, p.width)
+}
+
+// runSanity scores the candidate on the effective sanity batch at the
+// serving width. A panic during prediction is converted to a rejection —
+// an upload must never be able to crash the serving process.
+func (p *Plane) runSanity(m *core.Model, sb SanityBatch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sanity batch: prediction panicked: %v", r)
+		}
+	}()
+	if sb.X == nil || sb.X.Rows == 0 {
+		sb = SanityBatch{X: builtinSanity(m.Enc.InDim())}
+	}
+	if sb.X.Cols != m.Enc.InDim() {
+		return fmt.Errorf("sanity batch has %d features, model encodes %d", sb.X.Cols, m.Enc.InDim())
+	}
+	c, err := p.servingClassifier(m)
+	if err != nil {
+		return err
+	}
+	classes := m.NumClasses()
+	correct := 0
+	row := make([]float32, sb.X.Cols)
+	for i := 0; i < sb.X.Rows; i++ {
+		copy(row, sb.X.Row(i)) // models may use pooled scratch; never hand them the batch's backing array
+		pred := c.Predict(row)
+		if pred < 0 || pred >= classes {
+			return fmt.Errorf("sanity batch: row %d predicted class %d of %d", i, pred, classes)
+		}
+		if sb.Y != nil && pred == sb.Y[i] {
+			correct++
+		}
+	}
+	if sb.Y != nil && sb.MinAccuracy > 0 {
+		acc := float64(correct) / float64(sb.X.Rows)
+		if acc < sb.MinAccuracy {
+			return fmt.Errorf("sanity batch: accuracy %.4f below required %.4f", acc, sb.MinAccuracy)
+		}
+	}
+	return nil
+}
+
+// builtinSanity deterministically generates in-domain feature vectors
+// (normalized features are zero-mean unit-variance, so unit-interval
+// draws are well within range). It only range-checks predictions — the
+// floor that catches a decoded-but-broken model without requiring the
+// operator to ship labeled data.
+func builtinSanity(inDim int) *hdc.Matrix {
+	x := hdc.NewMatrix(builtinSanityRows, inDim)
+	r := rng.New(0x5a17b0) // fixed: the gate must be reproducible
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	return x
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes one JSON error response.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

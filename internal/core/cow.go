@@ -60,11 +60,12 @@ func (s *Snapshot) PredictEncoded(h []float32) int { return s.scorer.PredictEnco
 // pipeline.Sharded, where per-core workers classify while analyst
 // feedback retrains the model live.
 type COWModel struct {
-	mu      sync.Mutex // serializes writers; guards writer, version, derive
-	writer  *Model     // private working copy; Class mutated in place
-	version uint64
-	derive  func(m *Model) any
-	snap    atomic.Pointer[Snapshot]
+	mu        sync.Mutex // serializes writers; guards writer, version, derive, onPublish
+	writer    *Model     // private working copy; Class mutated in place
+	version   uint64
+	derive    func(m *Model) any
+	onPublish func(version uint64)
+	snap      atomic.Pointer[Snapshot]
 
 	predictScratch sync.Pool // *cowScratch
 	encScratch     sync.Pool // *hdc.Matrix
@@ -102,6 +103,55 @@ func (c *COWModel) publishLocked() {
 		snap.derived = c.derive(c.writer)
 	}
 	c.snap.Store(snap)
+	if c.onPublish != nil {
+		c.onPublish(c.version)
+	}
+}
+
+// SetOnPublish installs fn as the publication observer: it runs after
+// every snapshot swap with the newly published version, and once
+// immediately with the current version so gauges initialize. Engines use
+// this to surface the serving model version in telemetry
+// (cyberhd_model_version). fn runs under the writer lock — keep it to a
+// counter store and never call back into the model. Last installer wins.
+func (c *COWModel) SetOnPublish(fn func(version uint64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPublish = fn
+	if fn != nil {
+		fn(c.version)
+	}
+}
+
+// ReplaceModel adopts m as the next model version: m becomes the private
+// working copy and is published with one atomic snapshot swap, so
+// concurrent readers switch from the old model to the new one between
+// two predictions, never mid-verdict. The derive hook (e.g. the
+// quantize.AttachLive re-packing hook) runs on m before the swap, so
+// quantized serving state is rebuilt atomically with the publication —
+// this is the hot-reload primitive of the model control plane.
+//
+// m must match the serving geometry (class count and hyperspace
+// dimensionality); a mismatch returns an error and leaves the serving
+// version untouched. The caller must stop using m directly afterwards,
+// exactly as with NewCOWModel.
+func (c *COWModel) ReplaceModel(m *Model) error {
+	if m == nil {
+		return fmt.Errorf("core: ReplaceModel: nil model")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Class.Rows != c.writer.Class.Rows {
+		return fmt.Errorf("core: ReplaceModel: model has %d classes, serving %d",
+			m.Class.Rows, c.writer.Class.Rows)
+	}
+	if m.Class.Cols != c.writer.Class.Cols {
+		return fmt.Errorf("core: ReplaceModel: model dim %d, serving %d",
+			m.Class.Cols, c.writer.Class.Cols)
+	}
+	c.writer = m
+	c.publishLocked()
+	return nil
 }
 
 // SetDerive installs fn as the snapshot derivation hook and republishes so

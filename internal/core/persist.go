@@ -14,6 +14,15 @@ import (
 // through encoder.State, including its RNG continuation, so a reloaded
 // model classifies identically and future regeneration draws continue the
 // saved stream.
+//
+// Format note (v1 limitation): this format predates the COW/quantize
+// serving stack. Save serializes a bare Model — it silently drops the
+// COW publication version, the Scorer's cached row norms and the
+// quantized derived artifact attached by quantize.AttachLive, and Load
+// rebuilds the norm cache from the class data (refreshNorms) while
+// leaving quantized state to be re-derived by the serving config. Use
+// SaveSnapshot/LoadSnapshot (snapshot.go) for serving-ready persistence;
+// v1 files keep loading through both Load and LoadSnapshot.
 type modelState struct {
 	Version              int
 	ClassRows, ClassCols int

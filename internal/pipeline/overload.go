@@ -389,10 +389,16 @@ func (g *Gate) evaluate() {
 	}
 }
 
-// setState records a state change into telemetry. Caller holds the lock.
+// setState records a state change into telemetry: the gauge the scrape
+// surfaces read live, plus the per-state transition counter
+// (cyberhd_overload_transitions_total{state=...}) so brief shedding
+// episodes stay observable after the gauge recovers. Caller holds the
+// lock; setState is only called on an actual change, so transitions
+// count state entries, not evaluations.
 func (g *Gate) setState(s OverloadState) {
 	g.state = s
 	g.tel.SetOverloadState(int32(s))
+	g.tel.OverloadTransition(int32(s))
 }
 
 // p99Since returns the 99th-percentile verdict latency (capture

@@ -136,6 +136,13 @@ type Config struct {
 	// float32. Verdicts at a given width are independent of BatchSize and
 	// shard count, exactly like the float path.
 	Quantize bitpack.Width
+	// Shadow, when set, is the shadow-serving tap: every classified flow
+	// is also scored by the tap's candidate model (when one is attached)
+	// and verdict divergence is counted into telemetry, without affecting
+	// the primary's verdicts, alerts or sinks. The tap is swappable
+	// mid-traffic; a Sharded engine shares it across all shards. See
+	// Shadow.
+	Shadow *Shadow
 	// OnAlert, when set, receives every alert synchronously.
 	OnAlert func(Alert)
 	// Sinks receive every alert after OnAlert, in order. Delivery follows
@@ -294,6 +301,18 @@ func resolveTelemetry(cfg *Config) *telemetry.Collector {
 		cfg.Telemetry = telemetry.New(cfg.ClassNames)
 	}
 	cfg.Telemetry.SetKernels(telemetry.Kernels{Float: hdc.KernelPath(), Packed: bitpack.KernelPath()})
+	// Versioned models stamp every COW publication into the collector
+	// (cyberhd_model_version), so hot reloads, shadow promotions and
+	// online feedback are observable from /stats and /metrics.
+	// Re-resolution from the same config (each shard of a Sharded)
+	// reinstalls the same observer — last write wins, harmless.
+	tel := cfg.Telemetry
+	switch m := cfg.Model.(type) {
+	case *core.COWModel:
+		m.SetOnPublish(func(v uint64) { tel.SetModelVersion(v) })
+	case *quantize.Live:
+		m.COW().SetOnPublish(func(v uint64) { tel.SetModelVersion(v) })
+	}
 	for _, s := range cfg.Sinks {
 		if rl, ok := s.(*RateLimitSink); ok {
 			rl.attachTelemetry(cfg.Telemetry)
@@ -425,7 +444,23 @@ func (e *Engine) onFlow(f *netflow.Flow) {
 	}
 	e.buf = f.AppendFeatures(e.buf[:0])
 	e.cfg.Normalizer.ApplyVec(e.buf)
-	e.verdict(f, e.cfg.Model.Predict(e.buf), e.now)
+	pred := e.cfg.Model.Predict(e.buf)
+	e.shadowScore(e.buf, pred)
+	e.verdict(f, pred, e.now)
+}
+
+// shadowScore runs the shadow tap's candidate (if any) on one normalized
+// feature vector and counts divergence from the primary's verdict. One
+// atomic load when no tap is configured or attached.
+func (e *Engine) shadowScore(x []float32, primary int) {
+	if e.cfg.Shadow == nil {
+		return
+	}
+	m := e.cfg.Shadow.Get()
+	if m == nil {
+		return
+	}
+	e.tel.ShadowVerdict(primary, m.Predict(x) != primary)
 }
 
 // flushBatch classifies all pending flows through one blocked batch
@@ -439,6 +474,15 @@ func (e *Engine) flushBatch() {
 	defer func() { e.flushing = false }()
 	e.pendView = hdc.Matrix{Rows: n, Cols: e.pendX.Cols, Data: e.pendX.Data[:n*e.pendX.Cols]}
 	e.batch.PredictBatchInto(&e.pendView, e.preds[:n])
+	if e.cfg.Shadow != nil {
+		// One candidate load per batch, so every row of this flush is
+		// scored against the same shadow version.
+		if m := e.cfg.Shadow.Get(); m != nil {
+			for i := 0; i < n; i++ {
+				e.tel.ShadowVerdict(e.preds[i], m.Predict(e.pendView.Row(i)) != e.preds[i])
+			}
+		}
+	}
 	for i, f := range e.pendFlows {
 		e.verdict(f, e.preds[i], e.pendDone[i])
 	}

@@ -65,6 +65,12 @@ func FromCore(m *core.Model, w bitpack.Width) (*Model, error) {
 	}, nil
 }
 
+// DeriveWidth reports the bitwidth this derived artifact was packed at.
+// core.SaveSnapshot duck-types this method on Snapshot.Derived() to
+// record the serving width in v2 snapshots without core importing this
+// package (quantize already imports core).
+func (m *Model) DeriveWidth() int { return int(m.Width) }
+
 // Dim returns the physical hyperspace dimensionality.
 func (m *Model) Dim() int {
 	if len(m.Class.Rows) == 0 {

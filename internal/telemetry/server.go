@@ -38,6 +38,18 @@ const (
 	// MetricOverloadState is the admission gate's state gauge: 0 normal,
 	// 1 pressured, 2 shedding.
 	MetricOverloadState = "cyberhd_overload_state"
+	// MetricOverloadTransitions counts entries into each gate state
+	// (label: state), so shedding episodes remain visible after recovery.
+	MetricOverloadTransitions = "cyberhd_overload_transitions_total"
+	// MetricModelVersion is the serving model's COW publication version
+	// gauge (0 when serving an unversioned model) — it moves on hot
+	// reloads, shadow promotions and online feedback.
+	MetricModelVersion = "cyberhd_model_version"
+	// MetricShadowFlows counts flows also scored by a shadow model.
+	MetricShadowFlows = "cyberhd_shadow_flows_total"
+	// MetricShadowDiverged counts shadow verdicts disagreeing with the
+	// primary, per primary verdict class (label: class).
+	MetricShadowDiverged = "cyberhd_shadow_diverged_total"
 )
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -64,6 +76,19 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	fmt.Fprintf(&b, "# HELP %s Admission gate state: 0 normal, 1 pressured, 2 shedding.\n# TYPE %s gauge\n%s %d\n",
 		MetricOverloadState, MetricOverloadState, MetricOverloadState, s.OverloadState)
+	fmt.Fprintf(&b, "# HELP %s Entries into each admission gate state.\n# TYPE %s counter\n",
+		MetricOverloadTransitions, MetricOverloadTransitions)
+	for i, n := range s.OverloadTransitions {
+		fmt.Fprintf(&b, "%s{state=\"%s\"} %d\n", MetricOverloadTransitions, OverloadStateNames[i], n)
+	}
+	fmt.Fprintf(&b, "# HELP %s Serving model COW publication version (0 = unversioned model).\n# TYPE %s gauge\n%s %d\n",
+		MetricModelVersion, MetricModelVersion, MetricModelVersion, s.ModelVersion)
+	counter(MetricShadowFlows, "Flows also scored by a shadow model.", s.ShadowFlows)
+	fmt.Fprintf(&b, "# HELP %s Shadow verdicts diverging from the primary, by primary class.\n# TYPE %s counter\n",
+		MetricShadowDiverged, MetricShadowDiverged)
+	for i, n := range s.ShadowDiverged {
+		fmt.Fprintf(&b, "%s{class=\"%s\"} %d\n", MetricShadowDiverged, escapeLabel(s.className(i)), n)
+	}
 	fmt.Fprintf(&b, "# HELP %s Capture-time delay between flow completion and verdict.\n# TYPE %s histogram\n",
 		MetricLatency, MetricLatency)
 	var cum int64
@@ -124,9 +149,19 @@ type statsJSON struct {
 	Dropped       map[string]int64 `json:"dropped_by_reason"`
 	DroppedTotal  int64            `json:"dropped_total"`
 	OverloadState string           `json:"overload_state"`
+	Transitions   map[string]int64 `json:"overload_transitions"`
+	ModelVersion  uint64           `json:"model_version"`
+	Shadow        shadowJSON       `json:"shadow"`
 	ByClass       map[string]int64 `json:"verdicts_by_class"`
 	Latency       latencyJSON      `json:"verdict_latency"`
 	Kernels       *Kernels         `json:"kernels,omitempty"`
+}
+
+// shadowJSON is the shadow-serving corner of /stats.
+type shadowJSON struct {
+	Flows           int64            `json:"flows"`
+	DivergedTotal   int64            `json:"diverged_total"`
+	DivergedByClass map[string]int64 `json:"diverged_by_class"`
 }
 
 // latencyJSON is the histogram's JSON shape.
@@ -147,12 +182,24 @@ func jsonOf(s Snapshot) statsJSON {
 	for i, n := range s.Dropped {
 		dropped[DropReasonNames[i]] = n
 	}
+	transitions := make(map[string]int64, len(OverloadStateNames))
+	for i, n := range s.OverloadTransitions {
+		transitions[OverloadStateNames[i]] = n
+	}
+	shadowBy := make(map[string]int64, len(s.ShadowDiverged))
+	for i, n := range s.ShadowDiverged {
+		shadowBy[s.className(i)] = n
+	}
 	out := statsJSON{
 		Packets: s.Packets, Flows: s.Flows, Pending: s.Pending(),
 		Alerts: s.Alerts, Suppressed: s.Suppressed, FeedbackOK: s.FeedbackOK,
 		Dropped: dropped, DroppedTotal: s.DroppedTotal(),
 		OverloadState: s.OverloadStateName(),
-		ByClass:       by,
+		Transitions:   transitions,
+		ModelVersion:  s.ModelVersion,
+		Shadow: shadowJSON{Flows: s.ShadowFlows,
+			DivergedTotal: s.ShadowDivergedTotal(), DivergedByClass: shadowBy},
+		ByClass: by,
 		Latency: latencyJSON{Bounds: s.Latency.Bounds, Counts: s.Latency.Counts,
 			Sum: s.Latency.Sum, Count: s.Latency.Count},
 	}
@@ -168,7 +215,15 @@ func jsonOf(s Snapshot) statsJSON {
 //	/metrics — Prometheus text exposition format
 //	/stats   — the same snapshot as JSON
 //	/healthz — 200 "ok" (liveness)
-func Handler(c *Collector) http.Handler {
+func Handler(c *Collector) http.Handler { return HandlerWith(c, nil) }
+
+// HandlerWith is Handler plus caller-mounted routes: each extra
+// pattern/handler pair is registered on the same mux, so subsystems like
+// the model control plane (POST /model) share the admin endpoint instead
+// of binding a second port. Extra patterns must not collide with
+// /metrics, /stats or /healthz (ServeMux panics on duplicates, at build
+// time rather than mid-serve).
+func HandlerWith(c *Collector, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -184,6 +239,9 @@ func Handler(c *Collector) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = io.WriteString(w, "ok\n")
 	})
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -198,11 +256,18 @@ type Server struct {
 // background goroutine. The returned server is already accepting when
 // this returns — read the resolved address from Addr.
 func ListenAndServe(addr string, c *Collector) (*Server, error) {
+	return ListenAndServeWith(addr, c, nil)
+}
+
+// ListenAndServeWith is ListenAndServe with caller-mounted extra routes
+// (see HandlerWith) — how a serving process exposes the model control
+// plane on its existing admin endpoint.
+func ListenAndServeWith(addr string, c *Collector, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(c), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(c, extra), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

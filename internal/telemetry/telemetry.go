@@ -93,10 +93,20 @@ type Collector struct {
 	latCounts   [NumLatencyBuckets]atomic.Int64
 	latSumMicro atomic.Int64
 
-	// overload admission counters: shed packets by reason, plus the
-	// gate's current state (0 normal, 1 pressured, 2 shedding).
-	dropped       [NumDropReasons]atomic.Int64
-	overloadState atomic.Int32
+	// overload admission counters: shed packets by reason, the gate's
+	// current state (0 normal, 1 pressured, 2 shedding), and how many
+	// times each state was entered (state transitions, so a brief
+	// shedding episode is observable even after the gauge recovers).
+	dropped             [NumDropReasons]atomic.Int64
+	overloadState       atomic.Int32
+	overloadTransitions [len(OverloadStateNames)]atomic.Int64
+
+	// model control plane counters: the serving model's COW publication
+	// version, shadow-scored flows and per-class verdict divergence
+	// (indexed by the primary model's verdict class).
+	modelVersion   atomic.Uint64
+	shadowFlows    atomic.Int64
+	shadowDiverged []atomic.Int64
 
 	// kernels is the dispatch report attached by the engine (atomic so a
 	// late SetKernels cannot race a concurrent scrape).
@@ -124,8 +134,9 @@ func (c *Collector) SetKernels(k Kernels) { c.kernels.Store(&k) }
 // labels, copied).
 func New(classes []string) *Collector {
 	return &Collector{
-		byClass: make([]atomic.Int64, len(classes)),
-		classes: append([]string(nil), classes...),
+		byClass:        make([]atomic.Int64, len(classes)),
+		shadowDiverged: make([]atomic.Int64, len(classes)),
+		classes:        append([]string(nil), classes...),
 	}
 }
 
@@ -191,6 +202,34 @@ func (c *Collector) AddDropped(r DropReason, n int) {
 // OverloadStateNames index). Safe from any goroutine; last write wins.
 func (c *Collector) SetOverloadState(s int32) { c.overloadState.Store(s) }
 
+// OverloadTransition counts one entry into the given admission-gate
+// state (an OverloadStateNames index) — the event-level record behind
+// the state gauge, so a shedding episode stays observable after
+// recovery. Out-of-range states are ignored defensively.
+func (c *Collector) OverloadTransition(s int32) {
+	if s >= 0 && int(s) < len(c.overloadTransitions) {
+		c.overloadTransitions[s].Add(1)
+	}
+}
+
+// SetModelVersion publishes the serving model's COW publication version.
+// Safe from any goroutine; last write wins (engines install it as the
+// COWModel's publication observer, so hot reloads and online feedback
+// both move the gauge).
+func (c *Collector) SetModelVersion(v uint64) { c.modelVersion.Store(v) }
+
+// ShadowVerdict records one shadow-model scoring of a flow: the
+// shadow-flow counter, plus the per-class divergence counter (indexed by
+// the primary model's verdict) when the two models disagreed.
+// Out-of-range primary classes still count the flow, just not a class
+// bucket — mirroring Verdict's defensive stance.
+func (c *Collector) ShadowVerdict(primaryClass int, diverged bool) {
+	if diverged && primaryClass >= 0 && primaryClass < len(c.shadowDiverged) {
+		c.shadowDiverged[primaryClass].Add(1)
+	}
+	c.shadowFlows.Add(1)
+}
+
 // LatencyCountsInto loads the per-bucket verdict-latency counts into
 // dst without allocating — the admission gate's state machine polls
 // this on its evaluation cadence and diffs against the previous load.
@@ -223,6 +262,18 @@ type Snapshot struct {
 	// OverloadState is the admission gate's state at snapshot time (an
 	// OverloadStateNames index); 0 (normal) when no gate is attached.
 	OverloadState int32
+	// OverloadTransitions counts entries into each gate state (indexed
+	// like OverloadStateNames). All zero when no gate ever tightened.
+	OverloadTransitions [len(OverloadStateNames)]int64
+	// ModelVersion is the serving model's COW publication version; 0 when
+	// the engine serves an unversioned (plain) model.
+	ModelVersion uint64
+	// ShadowFlows counts flows also scored by a shadow model; 0 when no
+	// shadow is attached.
+	ShadowFlows int64
+	// ShadowDiverged counts shadow verdicts that disagreed with the
+	// primary, per primary verdict class (same indexing as ByClass).
+	ShadowDiverged []int64
 	// Classes are the verdict labels for ByClass (shared, do not modify).
 	Classes []string
 	// ByClass counts verdicts per class index.
@@ -264,6 +315,16 @@ func (s Snapshot) OverloadStateName() string {
 	return "unknown"
 }
 
+// ShadowDivergedTotal returns shadow/primary verdict disagreements
+// summed over every class.
+func (s Snapshot) ShadowDivergedTotal() int64 {
+	var v int64
+	for _, n := range s.ShadowDiverged {
+		v += n
+	}
+	return v
+}
+
 // Pending returns how many completed flows await a verdict (mid-run this
 // is the micro-batch fill; after a drain it is zero).
 func (s Snapshot) Pending() int64 {
@@ -288,16 +349,27 @@ func (s Snapshot) Pending() int64 {
 // even while writers are mid-flight between two adds.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Suppressed:    c.suppressed.Load(),
-		FeedbackOK:    c.feedbackOK.Load(),
-		OverloadState: c.overloadState.Load(),
-		Alerts:        c.alerts.Load(),
-		Classes:       c.classes,
-		ByClass:       make([]int64, len(c.byClass)),
+		Suppressed:     c.suppressed.Load(),
+		FeedbackOK:     c.feedbackOK.Load(),
+		OverloadState:  c.overloadState.Load(),
+		ModelVersion:   c.modelVersion.Load(),
+		Alerts:         c.alerts.Load(),
+		Classes:        c.classes,
+		ByClass:        make([]int64, len(c.byClass)),
+		ShadowDiverged: make([]int64, len(c.shadowDiverged)),
 	}
 	for i := range c.dropped {
 		s.Dropped[i] = c.dropped[i].Load()
 	}
+	for i := range c.overloadTransitions {
+		s.OverloadTransitions[i] = c.overloadTransitions[i].Load()
+	}
+	// Divergence before the shadow-flow total, so the mid-run invariant
+	// ΣShadowDiverged ≤ ShadowFlows holds in every snapshot.
+	for i := range c.shadowDiverged {
+		s.ShadowDiverged[i] = c.shadowDiverged[i].Load()
+	}
+	s.ShadowFlows = c.shadowFlows.Load()
 	for i := range c.byClass {
 		s.ByClass[i] = c.byClass[i].Load()
 	}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 
 	"cyberhd/internal/bitpack"
+	"cyberhd/internal/control"
+	"cyberhd/internal/core"
 	"cyberhd/internal/hdc"
 	"cyberhd/internal/netflow"
 	"cyberhd/internal/pipeline"
@@ -82,6 +84,32 @@ type (
 	// Gate is the admission-controlled ingress wrapper around any Stream;
 	// Serve installs one automatically under a bounded OverloadPolicy.
 	Gate = pipeline.Gate
+	// Classifier is the minimal scoring contract engines serve through
+	// (Predict/PredictBatchInto/NumClasses) — satisfied by Model,
+	// COWModel, QuantizedModel and QuantizedLive.
+	Classifier = pipeline.Classifier
+	// ShadowTap is the shadow-serving slot of the model control plane: a
+	// swappable candidate classifier that engines score behind the
+	// primary, counting verdict divergence per class into telemetry.
+	// Attach with WithShadow; swap candidates with Set/Clear at any time.
+	ShadowTap = pipeline.Shadow
+	// ControlPlane serves the model-management HTTP routes (GET/POST
+	// /model, /model/promote, /model/demote) over one serving COWModel —
+	// validated hot reload, shadow attach and promotion, each one atomic
+	// swap. Build with NewControlPlane, mount via ServeMetricsWith.
+	ControlPlane = control.Plane
+	// ControlPlaneConfig assembles a ControlPlane: the serving COWModel,
+	// its quantization width, the engine's ShadowTap and the sanity gate.
+	ControlPlaneConfig = control.Config
+	// SanityBatch is the acceptance gate an uploaded model must pass
+	// before a ControlPlane publishes it (see control.SanityBatch).
+	SanityBatch = control.SanityBatch
+	// ModelStatus is the ControlPlane's GET /model response: serving
+	// version, geometry, width and shadow state.
+	ModelStatus = control.Status
+	// SnapshotInfo describes a decoded model snapshot: persistence
+	// format, COW model version, recorded serving width and geometry.
+	SnapshotInfo = core.SnapshotInfo
 )
 
 // Overload modes, states and drop reasons, re-exported so policy
@@ -141,6 +169,33 @@ var (
 	// gate — Serve and NewServeRunner do this automatically when the
 	// config's OverloadPolicy is bounded.
 	NewGate = pipeline.NewGate
+	// ServeMetricsWith is ServeMetrics plus extra routes on the same
+	// admin mux — the way to mount a ControlPlane's Handler at "/model"
+	// and "/model/" alongside /metrics, /stats and /healthz.
+	ServeMetricsWith = telemetry.ListenAndServeWith
+	// NewShadowTap returns an empty shadow tap; attach it to an engine
+	// with WithShadow and to a ControlPlane via ControlPlaneConfig.
+	NewShadowTap = pipeline.NewShadow
+	// NewControlPlane validates a ControlPlaneConfig and builds the
+	// model control plane.
+	NewControlPlane = control.New
+	// SaveModelSnapshot writes a COWModel publication as a versioned v2
+	// snapshot: encoder state, class matrix, scorer norms, COW version
+	// and the derived quantized width — everything LoadModelSnapshot
+	// needs to restore bit-identical serving.
+	SaveModelSnapshot = core.SaveSnapshot
+	// LoadModelSnapshot restores a COWModel from a snapshot in either
+	// persistence format (v1 core.Save files load too, rebuilding
+	// derived state) and reports what it loaded.
+	LoadModelSnapshot = core.LoadSnapshot
+	// SaveModelSnapshotFile and LoadModelSnapshotFile are the file-path
+	// spellings of SaveModelSnapshot/LoadModelSnapshot.
+	SaveModelSnapshotFile = core.SaveSnapshotFile
+	// LoadModelSnapshotFile restores a COWModel from a snapshot file.
+	LoadModelSnapshotFile = core.LoadSnapshotFile
+	// EncodeSanityBatch writes a SanityBatch in the wire format a
+	// ControlPlane accepts as the "sanity" part of a multipart upload.
+	EncodeSanityBatch = control.EncodeSanityBatch
 )
 
 // EngineOption composes an EngineConfig — the builder form of engine
@@ -163,6 +218,23 @@ func WithBatchSize(n int) EngineOption {
 // float32.
 func WithQuantized(w Width) EngineOption {
 	return func(cfg *EngineConfig) { cfg.Quantize = w }
+}
+
+// WithModel serves through m instead of the detector's own model —
+// typically a COWModel (or QuantizedLive) wrapping it, so hot reload and
+// feedback publish atomically against concurrent reads, or a model
+// restored by LoadModelSnapshot.
+func WithModel(m Classifier) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Model = m }
+}
+
+// WithShadow attaches a shadow tap: every classified flow is also scored
+// by the tap's candidate (when one is set) and verdict divergence is
+// counted per class into telemetry — the observe step of the
+// retrain→shadow→promote loop. Share the same tap with a ControlPlane to
+// drive it over HTTP.
+func WithShadow(tap *ShadowTap) EngineOption {
+	return func(cfg *EngineConfig) { cfg.Shadow = tap }
 }
 
 // WithShards serves through the flow-sharded multi-core engine with n
