@@ -12,6 +12,8 @@
 //	cyberhd detect -width 4 -batch 64                      # packed 4-bit integer inference
 //	cyberhd detect -capture traffic.cap -jsonl alerts.jsonl # O(1)-memory replay, JSONL alerts
 //	cyberhd detect -metrics :9090                          # live /metrics, /stats, /healthz
+//	cyberhd serve -listen 127.0.0.1:9301                   # cluster detector worker
+//	cyberhd ingest -workers 127.0.0.1:9301,127.0.0.1:9302  # fan a capture out across workers
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +56,10 @@ func main() {
 		err = cmdFaults(os.Args[2:])
 	case "detect":
 		err = cmdDetect(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	default:
 		usage()
 	}
@@ -63,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cyberhd <gen|train|quantize|faults|detect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cyberhd <gen|train|quantize|faults|detect|serve|ingest> [flags]")
 	os.Exit(2)
 }
 
@@ -483,6 +490,176 @@ func cmdDetect(args []string) error {
 	// counters get their window without stalling the operator's output.
 	if metricsSrv != nil && *metricsLinger > 0 {
 		fmt.Printf("metrics endpoint stays up %.0fs (http://%s/metrics)\n", *metricsLinger, metricsSrv.Addr())
+		time.Sleep(time.Duration(*metricsLinger * float64(time.Second)))
+	}
+	return nil
+}
+
+// cmdServe runs one cluster detector worker: session configuration and
+// model arrive over the wire from the ingest node, so the worker itself
+// trains nothing and takes almost no flags.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9301", "TCP listen address for ingest connections")
+	quiet := fs.Bool("q", false, "suppress per-session log lines")
+	fs.Parse(args)
+	cfg := cyberhd.ClusterWorkerConfig{}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	w, err := cyberhd.NewClusterWorker(*listen, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster worker listening on %s\n", w.Addr())
+	return w.Serve()
+}
+
+// cmdIngest trains a detector exactly like detect, then fans the capture
+// out across a worker fleet instead of a local engine. The summary line
+// is detect's, byte for byte — CI diffs the two to pin the cluster's
+// bit-identity contract.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	workers := fs.String("workers", "", "comma-separated worker addresses (required)")
+	trainSessions := fs.Int("train", 3000, "training capture size (sessions)")
+	liveSessions := fs.Int("sessions", 1000, "live capture size (sessions)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	capture := fs.String("capture", "", "replay a binary capture instead of generating live traffic (streamed in O(1) memory)")
+	batch := fs.Int("batch", 0, "micro-batch size per worker engine (0 = classify per flow)")
+	width := fs.Int("width", 0, "quantized inference bitwidth on each worker: 1, 2, 4, 8, 16 or 32 (0 = float32)")
+	workerShards := fs.Int("worker-shards", 1, "engine shards inside each worker (1 = single engine per worker)")
+	tick := fs.Float64("tick", 1, "auto-tick interval in capture seconds, broadcast to every worker (< 0 disables)")
+	jsonl := fs.String("jsonl", "", "append merged alerts as JSON lines to this file ('-' = stdout)")
+	metricsAddr := fs.String("metrics", "", "serve the cluster-wide rollup /metrics (Prometheus), /stats (JSON) and /healthz on this address")
+	metricsLinger := fs.Float64("metrics-linger", 0, "keep the -metrics endpoint up this many seconds after the run")
+	verbose := fs.Bool("v", false, "print every merged alert")
+	fs.Parse(args)
+	if *workers == "" {
+		return fmt.Errorf("ingest: -workers required (comma-separated host:port list)")
+	}
+	var fleet []string
+	for _, a := range strings.Split(*workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			fleet = append(fleet, a)
+		}
+	}
+	if len(fleet) == 0 {
+		return fmt.Errorf("ingest: -workers lists no addresses")
+	}
+	if *width != 0 && !bitpack.Width(*width).Valid() {
+		return fmt.Errorf("ingest: -width %d not one of %v", *width, bitpack.Widths)
+	}
+
+	// Bind the rollup endpoint before the (slow) training step. Counters
+	// come from the merged worker telemetry, so the handler reads through
+	// an atomic pointer that flips from an empty snapshot to the live
+	// cluster once dialed.
+	var clientPtr atomic.Pointer[cyberhd.ClusterClient]
+	if *metricsAddr != "" {
+		srv, err := cyberhd.ServeMetricsFrom(*metricsAddr, func() cyberhd.TelemetrySnapshot {
+			if c := clientPtr.Load(); c != nil {
+				return c.MergedSnapshot()
+			}
+			return cyberhd.TelemetrySnapshot{Classes: traffic.LabelNames()}
+		}, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("cluster rollup endpoint: http://%s/metrics (also /stats, /healthz)\n", srv.Addr())
+	}
+
+	det, err := cyberhd.TrainDetector(cyberhd.CICIDS2017(*trainSessions, *seed), cyberhd.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("detector:", det)
+
+	// Egress sinks ride on the merged alert stream, same as detect.
+	var sinks []cyberhd.AlertSink
+	if *verbose {
+		sinks = append(sinks, cyberhd.SinkFunc(func(a cyberhd.Alert) {
+			fmt.Printf("ALERT t=%9.2fs %-12s %4d pkts %9.0f bytes\n",
+				a.Time, a.ClassName, a.Flow.TotalPackets(), a.Flow.TotalBytes())
+		}))
+	}
+	var jsonlSink *cyberhd.JSONLSink
+	var jsonlFile *os.File
+	if *jsonl != "" {
+		w := io.Writer(os.Stdout)
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return err
+			}
+			jsonlFile = f
+			defer f.Close() // backstop for error returns; success path closes and checks below
+			w = f
+		}
+		jsonlSink = cyberhd.NewJSONLSink(w)
+		sinks = append(sinks, jsonlSink)
+	}
+
+	client, err := cyberhd.DialCluster(cyberhd.ClusterConfig{
+		Workers:      fleet,
+		Model:        cyberhd.NewCOWModel(det.Model),
+		Normalizer:   det.Normalizer,
+		ClassNames:   det.ClassNames,
+		BatchSize:    *batch,
+		Width:        cyberhd.Width(*width),
+		WorkerShards: *workerShards,
+		Sinks:        sinks,
+	})
+	if err != nil {
+		return err
+	}
+	clientPtr.Store(client)
+	fmt.Printf("cluster: %d workers, flow-hash fan-out\n", len(fleet))
+	if *width != 0 {
+		fmt.Printf("quantized inference: %d-bit packed class memory\n", *width)
+	}
+
+	var src cyberhd.PacketSource
+	if *capture != "" {
+		cf, err := cyberhd.OpenCapture(*capture)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		src = cf
+	} else {
+		live := cyberhd.GenerateTraffic(cyberhd.TrafficConfig{Sessions: *liveSessions, Seed: *seed + 1})
+		src = cyberhd.NewSliceSource(live.Packets)
+	}
+
+	st, err := client.Runner(src, *tick).Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := client.Err(); err != nil {
+		return fmt.Errorf("cluster transport: %w", err)
+	}
+	if jsonlSink != nil {
+		if err := jsonlSink.Err(); err != nil {
+			return fmt.Errorf("jsonl sink: %w", err)
+		}
+		if jsonlFile != nil {
+			if err := jsonlFile.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("\nprocessed %d packets -> %d flows, %d alerts\n", st.Packets, st.Flows, st.Alerts)
+	sent := client.SentPerWorker()
+	versions := client.WorkerVersions()
+	for i, addr := range client.WorkerAddrs() {
+		fmt.Printf("worker %s: %d packets, serving model version %d\n", addr, sent[i], versions[i])
+	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Printf("rollup endpoint stays up %.0fs\n", *metricsLinger)
 		time.Sleep(time.Duration(*metricsLinger * float64(time.Second)))
 	}
 	return nil

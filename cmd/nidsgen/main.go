@@ -75,7 +75,9 @@ func main() {
 			lastTime = stream.Packets[nPackets-1].Time
 		}
 		if *capture != "" {
-			if err := netflow.SaveCapture(*capture, stream.Packets); err != nil {
+			// Stream the log through CaptureWriter — O(1) append, and on a
+			// seekable file the output is byte-identical to SaveCapture.
+			if err := writeCapture(*capture, stream.Packets); err != nil {
 				fmt.Fprintln(os.Stderr, "nidsgen:", err)
 				os.Exit(1)
 			}
@@ -93,6 +95,30 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d flows × %d features\n", *out, ds.Len(), ds.NumFeatures())
 	}
+}
+
+// writeCapture streams packets to path one record at a time.
+func writeCapture(path string, packets []netflow.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw, err := netflow.NewCaptureWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range packets {
+		if err := cw.Write(&packets[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := cw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // tapSource forwards a PacketSource while counting packets and tracking

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"cyberhd/internal/netflow"
+)
+
+// FuzzDecodeFrame hammers the frame reader — and every per-type decoder
+// behind it — with arbitrary bytes: truncations, bit flips, hostile
+// length prefixes, unknown types. The invariants mirror FuzzLoadSnapshot:
+// the reader never panics and never retains a payload buffer beyond the
+// type's declared cap, no matter what the length prefix claims.
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid single frames of every type seed the corpus.
+	seed := func(ft frameType, payload []byte) []byte {
+		var buf bytes.Buffer
+		fw := newFrameWriter(&buf)
+		if err := fw.writeFrame(ft, payload); err != nil {
+			f.Fatalf("seed frame type %d: %v", ft, err)
+		}
+		if err := fw.flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	hello, err := encodeHello(testHello())
+	if err != nil {
+		f.Fatal(err)
+	}
+	ack, err := encodeAck(ackState{OK: true, Version: 3, Msg: "ok"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var pktBuf bytes.Buffer
+	pw := newFrameWriter(&pktBuf)
+	p := netflow.Packet{Time: 2.5, SrcIP: 10, DstIP: 20, SrcPort: 80, DstPort: 8080, Proto: netflow.TCP, Length: 900, HeaderLen: 40, Flags: 0x02}
+	if err := pw.writePacket(&p); err != nil {
+		f.Fatal(err)
+	}
+	if err := pw.writeTick(17.25); err != nil {
+		f.Fatal(err)
+	}
+	var wa wireAlert
+	wa.Time, wa.Class, wa.Packets = 9.5, 2, 44
+	if err := pw.writeAlert(&wa); err != nil {
+		f.Fatal(err)
+	}
+	if err := pw.flush(); err != nil {
+		f.Fatal(err)
+	}
+	frames := [][]byte{
+		seed(frameHello, hello),
+		seed(frameAck, ack),
+		seed(frameSnapshot, []byte("not a real snapshot, length is what matters")),
+		seed(frameFlush, nil),
+		seed(frameBye, nil),
+		pktBuf.Bytes(), // packet + tick + alert back to back
+	}
+	for _, fr := range frames {
+		f.Add(fr)
+		// Truncations of each valid frame.
+		for _, n := range []int{1, frameHeaderSize - 1, frameHeaderSize, len(fr) - 1} {
+			if n > 0 && n < len(fr) {
+				f.Add(fr[:n])
+			}
+		}
+		// Bit flips in header and payload.
+		for _, i := range []int{0, 2, frameHeaderSize + 1} {
+			if i < len(fr) {
+				mut := append([]byte(nil), fr...)
+				mut[i] ^= 0x40
+				f.Add(mut)
+			}
+		}
+	}
+	// Hostile length prefixes: in-bounds huge claims with no bytes behind
+	// them, out-of-bounds claims, unknown types, empty input.
+	hostile := func(ft byte, n uint32) []byte {
+		h := make([]byte, frameHeaderSize)
+		h[0] = ft
+		h[1], h[2], h[3], h[4] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		return h
+	}
+	f.Add(hostile(byte(frameSnapshot), 1<<28))
+	f.Add(hostile(byte(frameSnapshot), 0xffffffff))
+	f.Add(hostile(byte(frameHello), 1<<20))
+	f.Add(hostile(byte(frameAck), 1<<30))
+	f.Add(hostile(0, 0))
+	f.Add(hostile(250, 12))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := newFrameReader(bytes.NewReader(data))
+		for {
+			ft, payload, err := fr.next()
+			if err != nil {
+				return // any error is a valid outcome; panics are not
+			}
+			_, max, ok := payloadBounds(ft)
+			if !ok {
+				t.Fatalf("next returned unknown frame type %d without error", ft)
+			}
+			if len(payload) > max {
+				t.Fatalf("frame type %d payload %d bytes exceeds cap %d", ft, len(payload), max)
+			}
+			// Run the matching decoder: it must reject or accept, never
+			// panic, whatever survived the CRC.
+			switch ft {
+			case frameHello:
+				_, _ = decodeHello(payload)
+			case frameAck:
+				_, _ = decodeAck(payload)
+			case framePacket:
+				var p netflow.Packet
+				_ = decodePacket(payload, &p)
+			case frameTick:
+				_, _ = decodeTick(payload)
+			case frameAlert:
+				var a wireAlert
+				_ = decodeAlert(payload, &a)
+			case frameTelemetry:
+				_, _, _ = decodeTelemetry(payload)
+			}
+		}
+	})
+}

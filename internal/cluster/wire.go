@@ -1,0 +1,451 @@
+// Package cluster scales the serving runtime past one process: an ingest
+// node partitions a packet stream by flow hash across N detector workers
+// over TCP and merges their alert and telemetry streams back, with model
+// snapshots replicated to every worker through the control-plane gates.
+//
+// The layer is deliberately thin. A worker session drives an ordinary
+// pipeline engine; the ingest side implements pipeline.Stream, so the
+// standard Runner replays any PacketSource into a cluster exactly as it
+// would into a local engine. Partitioning follows the sharded engine's
+// modulus contract (FlowKey.Hash % N — both directions of a flow land on
+// one worker), ticks broadcast to every worker before the packet that
+// crossed the boundary (the Runner's collapsed-boundary semantics carried
+// over the wire), and alert merging serializes per-worker streams exactly
+// like the sharded engine serializes per-shard callbacks. Under those
+// three contracts cluster verdicts over a capture are bit-identical to a
+// single-process engine over the same capture — pinned by
+// TestClusterBitIdenticalToSingleProcess.
+//
+// The wire format is a compact length-prefixed binary framing with the
+// same hostile-input discipline as the model snapshot codec
+// (internal/core/snapshot.go): every frame carries a CRC32 over its
+// payload, declared lengths are validated against per-type caps before
+// any allocation, and truncated, corrupt or oversized input errors —
+// never panics, never unbounded allocation (pinned by FuzzDecodeFrame).
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
+)
+
+// wireMagic opens each direction of a cluster connection. Version-suffixed
+// like the snapshot magic: a future incompatible framing bumps the digit
+// and old peers reject the session at the first eight bytes.
+const wireMagic = "CYHDWIR1"
+
+// frameType tags one wire frame.
+type frameType uint8
+
+// Wire frame types. Ingest→worker: hello, snapshot, packet, tick, flush,
+// bye. Worker→ingest: ack, alert, telemetry, bye.
+const (
+	frameHello     frameType = 1 // gob helloState: session configuration
+	frameSnapshot  frameType = 2 // v2 model snapshot bytes, verbatim
+	frameAck       frameType = 3 // gob ackState: snapshot/hello outcome
+	framePacket    frameType = 4 // one capture packet record (32 bytes)
+	frameTick      frameType = 5 // capture-clock tick (float64 bits)
+	frameFlush     frameType = 6 // flush all open flows (empty)
+	frameBye       frameType = 7 // end of stream (empty)
+	frameAlert     frameType = 8 // one alert record (fixed binary)
+	frameTelemetry frameType = 9 // settled flag byte + gob telemetry.Snapshot
+)
+
+// frameHeaderSize is the fixed frame header: type byte, payload length
+// (uint32 LE), payload CRC32-IEEE (uint32 LE).
+const frameHeaderSize = 1 + 4 + 4
+
+// Payload size caps, enforced before any allocation. Snapshot frames
+// carry core.SaveSnapshot output, capped like the snapshot decoder's own
+// body cap (1<<28) plus header slack; gob frames get generous fixed caps
+// far above their real sizes.
+const (
+	maxHelloPayload     = 1 << 20
+	maxSnapshotPayload  = 1<<28 + 256
+	maxAckPayload       = 1 << 16
+	maxTelemetryPayload = 1 << 20
+	tickPayloadSize     = 8
+	alertRecordSize     = 8 + 8 + 4 + 4 + 2 + 2 + 1 + 2 + 4 + 2 + 4 + 8 // 49 bytes
+)
+
+// payloadBounds returns the [min, max] payload size of a frame type, or
+// ok=false for an unknown type. Fixed-size frames have min == max.
+func payloadBounds(t frameType) (min, max int, ok bool) {
+	switch t {
+	case frameHello:
+		return 0, maxHelloPayload, true
+	case frameSnapshot:
+		return 0, maxSnapshotPayload, true
+	case frameAck:
+		return 0, maxAckPayload, true
+	case framePacket:
+		return netflow.PacketRecordSize, netflow.PacketRecordSize, true
+	case frameTick:
+		return tickPayloadSize, tickPayloadSize, true
+	case frameFlush, frameBye:
+		return 0, 0, true
+	case frameAlert:
+		return alertRecordSize, alertRecordSize, true
+	case frameTelemetry:
+		return 1, maxTelemetryPayload, true
+	}
+	return 0, 0, false
+}
+
+// writeWireMagic sends the stream preamble.
+func writeWireMagic(w io.Writer) error {
+	if _, err := io.WriteString(w, wireMagic); err != nil {
+		return fmt.Errorf("cluster: writing magic: %w", err)
+	}
+	return nil
+}
+
+// readWireMagic validates the peer's stream preamble.
+func readWireMagic(r io.Reader) error {
+	var got [len(wireMagic)]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("cluster: reading magic: %w", err)
+	}
+	if string(got[:]) != wireMagic {
+		return fmt.Errorf("cluster: bad magic %q (not a cluster peer, or incompatible wire version)", got[:])
+	}
+	return nil
+}
+
+// frameWriter frames payloads onto a buffered stream. Not safe for
+// concurrent use — callers serialize with their own mutex.
+type frameWriter struct {
+	w   *bufio.Writer
+	hdr [frameHeaderSize]byte
+	rec [alertRecordSize]byte // scratch for fixed-size frames (≥ packet/tick sizes)
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// writeFrame frames one payload: header (type, length, CRC) then bytes.
+// Buffered — call flush to push frames to the peer.
+func (fw *frameWriter) writeFrame(t frameType, payload []byte) error {
+	min, max, ok := payloadBounds(t)
+	if !ok || len(payload) < min || len(payload) > max {
+		return fmt.Errorf("cluster: writeFrame: type %d payload %d bytes out of bounds", t, len(payload))
+	}
+	fw.hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(fw.hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[5:], crc32.ChecksumIEEE(payload))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(payload)
+	return err
+}
+
+func (fw *frameWriter) flush() error { return fw.w.Flush() }
+
+// writePacket frames one packet as a capture record.
+func (fw *frameWriter) writePacket(p *netflow.Packet) error {
+	netflow.EncodePacketRecord(fw.rec[:netflow.PacketRecordSize], p)
+	return fw.writeFrame(framePacket, fw.rec[:netflow.PacketRecordSize])
+}
+
+// writeTick frames one capture-clock tick.
+func (fw *frameWriter) writeTick(now float64) error {
+	binary.LittleEndian.PutUint64(fw.rec[:tickPayloadSize], math.Float64bits(now))
+	return fw.writeFrame(frameTick, fw.rec[:tickPayloadSize])
+}
+
+// frameReader decodes frames off a buffered stream. The returned payload
+// slice is only valid until the next call. Not safe for concurrent use.
+type frameReader struct {
+	r   *bufio.Reader
+	hdr [frameHeaderSize]byte
+	buf []byte // reused for small payloads; large ones get a one-off buffer
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// reuseCap bounds how large a payload buffer the reader retains between
+// frames — packets, ticks, alerts and acks all fit; a rare multi-MB
+// snapshot frame is allocated once and released to the GC.
+const reuseCap = 64 << 10
+
+// next reads one frame with the snapshot decoder's hostile-input
+// discipline: the declared length is validated against the type's bounds
+// BEFORE any allocation, the payload is read exactly, and the CRC must
+// match before the bytes are handed to any decoder. Truncation
+// mid-payload surfaces as io.ErrUnexpectedEOF; a clean EOF at a frame
+// boundary surfaces as io.EOF. Never panics.
+func (fr *frameReader) next() (frameType, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("cluster: frame header: %w", err)
+	}
+	t := frameType(fr.hdr[0])
+	n := binary.LittleEndian.Uint32(fr.hdr[1:])
+	min, max, ok := payloadBounds(t)
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: unknown frame type %d", t)
+	}
+	if n < uint32(min) || n > uint32(max) {
+		return 0, nil, fmt.Errorf("cluster: frame type %d declares %d payload bytes (bounds [%d, %d])", t, n, min, max)
+	}
+	payload, err := fr.readPayload(int(n))
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: frame type %d payload (%d bytes): %w", t, n, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(fr.hdr[5:]); got != want {
+		return 0, nil, fmt.Errorf("cluster: frame type %d CRC mismatch (payload %08x, header %08x)", t, got, want)
+	}
+	return t, payload, nil
+}
+
+// readPayload reads exactly n bytes. Small payloads reuse the retained
+// buffer; larger ones are read in bounded chunks so a hostile length
+// prefix on a truncated stream allocates in proportion to the bytes that
+// actually arrive, not to the claim.
+func (fr *frameReader) readPayload(n int) ([]byte, error) {
+	if n <= reuseCap {
+		if cap(fr.buf) < n {
+			fr.buf = make([]byte, n)
+		}
+		buf := fr.buf[:n]
+		if _, err := io.ReadFull(fr.r, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, reuseCap)
+	for len(buf) < n {
+		c := n - len(buf)
+		if c > reuseCap {
+			c = reuseCap
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(fr.r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// decodePacket decodes a packet frame payload.
+func decodePacket(payload []byte, p *netflow.Packet) error {
+	if len(payload) != netflow.PacketRecordSize {
+		return fmt.Errorf("cluster: packet frame is %d bytes, want %d", len(payload), netflow.PacketRecordSize)
+	}
+	netflow.DecodePacketRecord(payload, p)
+	return nil
+}
+
+// decodeTick decodes a tick frame payload.
+func decodeTick(payload []byte) (float64, error) {
+	if len(payload) != tickPayloadSize {
+		return 0, fmt.Errorf("cluster: tick frame is %d bytes, want %d", len(payload), tickPayloadSize)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// helloProto is the session-configuration schema version inside hello
+// frames, separate from the stream magic so compatible additions do not
+// break the preamble.
+const helloProto = 1
+
+// helloState is the session configuration the ingest node sends before
+// any traffic: everything a worker needs to assemble a pipeline engine
+// identical (snapshot aside) to the one a single-process run would build.
+type helloState struct {
+	Proto       uint32
+	ClassNames  []string
+	NormMean    []float32
+	NormInvStd  []float32
+	BenignClass int
+	BatchSize   int
+	Width       int
+	Shards      int
+	ShardBuffer int
+	IdleTimeout float64
+	ActivityGap float64
+}
+
+// maxHelloClasses bounds the class list a hello may declare — far above
+// any real label set, small enough that a hostile hello cannot balloon
+// the worker through per-class telemetry allocations.
+const maxHelloClasses = 1 << 12
+
+// encodeHello renders the hello frame payload.
+func encodeHello(h helloState) ([]byte, error) {
+	h.Proto = helloProto
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&h); err != nil {
+		return nil, fmt.Errorf("cluster: encoding hello: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeHello parses and validates a hello frame payload. Validation here
+// is structural (counts, ranges); geometry against the model is checked
+// when the snapshot arrives.
+func decodeHello(payload []byte) (helloState, error) {
+	var h helloState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&h); err != nil {
+		return helloState{}, fmt.Errorf("cluster: decoding hello: %w", err)
+	}
+	if h.Proto != helloProto {
+		return helloState{}, fmt.Errorf("cluster: hello protocol %d, want %d", h.Proto, helloProto)
+	}
+	if len(h.ClassNames) == 0 || len(h.ClassNames) > maxHelloClasses {
+		return helloState{}, fmt.Errorf("cluster: hello declares %d classes (bounds [1, %d])", len(h.ClassNames), maxHelloClasses)
+	}
+	if h.BenignClass < 0 || h.BenignClass >= len(h.ClassNames) {
+		return helloState{}, fmt.Errorf("cluster: hello benign class %d of %d", h.BenignClass, len(h.ClassNames))
+	}
+	if len(h.NormMean) != netflow.NumFeatures || len(h.NormInvStd) != netflow.NumFeatures {
+		return helloState{}, fmt.Errorf("cluster: hello normalizer has %d/%d features, want %d",
+			len(h.NormMean), len(h.NormInvStd), netflow.NumFeatures)
+	}
+	if h.BatchSize < 0 || h.BatchSize > 1<<20 {
+		return helloState{}, fmt.Errorf("cluster: hello batch size %d out of range", h.BatchSize)
+	}
+	if h.Shards < 0 || h.Shards > 1<<10 {
+		return helloState{}, fmt.Errorf("cluster: hello shard count %d out of range", h.Shards)
+	}
+	if math.IsNaN(h.IdleTimeout) || math.IsNaN(h.ActivityGap) ||
+		math.IsInf(h.IdleTimeout, 0) || math.IsInf(h.ActivityGap, 0) {
+		return helloState{}, fmt.Errorf("cluster: hello timeouts not finite")
+	}
+	return h, nil
+}
+
+// ackState is a worker's answer to a hello or snapshot frame.
+type ackState struct {
+	OK      bool
+	Version uint64 // the worker's serving model version after the operation
+	Msg     string // rejection reason when !OK
+}
+
+// encodeAck renders the ack frame payload.
+func encodeAck(a ackState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&a); err != nil {
+		return nil, fmt.Errorf("cluster: encoding ack: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAck parses an ack frame payload.
+func decodeAck(payload []byte) (ackState, error) {
+	var a ackState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&a); err != nil {
+		return ackState{}, fmt.Errorf("cluster: decoding ack: %w", err)
+	}
+	return a, nil
+}
+
+// wireAlert is the fixed-binary alert record a worker streams back: the
+// verdict identity (flow key, class, time — the bit-identity fingerprint)
+// plus the flow summary fields the alert sinks render. Little-endian,
+// alertRecordSize bytes.
+type wireAlert struct {
+	Time        float64 // verdict time = the flow's LastTime
+	FirstTime   float64
+	Key         netflow.FlowKey
+	Class       uint16
+	InitSrcIP   uint32
+	InitSrcPort uint16
+	Packets     uint32 // total packets over both directions
+	Bytes       float64
+}
+
+// encodeAlert renders an alert record into dst[:alertRecordSize].
+func encodeAlert(dst []byte, a *wireAlert) {
+	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(a.Time))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(a.FirstTime))
+	binary.LittleEndian.PutUint32(dst[16:], a.Key.IPA)
+	binary.LittleEndian.PutUint32(dst[20:], a.Key.IPB)
+	binary.LittleEndian.PutUint16(dst[24:], a.Key.PortA)
+	binary.LittleEndian.PutUint16(dst[26:], a.Key.PortB)
+	dst[28] = byte(a.Key.Proto)
+	binary.LittleEndian.PutUint16(dst[29:], a.Class)
+	binary.LittleEndian.PutUint32(dst[31:], a.InitSrcIP)
+	binary.LittleEndian.PutUint16(dst[35:], a.InitSrcPort)
+	binary.LittleEndian.PutUint32(dst[37:], a.Packets)
+	binary.LittleEndian.PutUint64(dst[41:], math.Float64bits(a.Bytes))
+}
+
+// decodeAlert parses an alert frame payload.
+func decodeAlert(payload []byte, a *wireAlert) error {
+	if len(payload) != alertRecordSize {
+		return fmt.Errorf("cluster: alert frame is %d bytes, want %d", len(payload), alertRecordSize)
+	}
+	*a = wireAlert{
+		Time:      math.Float64frombits(binary.LittleEndian.Uint64(payload[0:])),
+		FirstTime: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Key: netflow.FlowKey{
+			IPA:   binary.LittleEndian.Uint32(payload[16:]),
+			IPB:   binary.LittleEndian.Uint32(payload[20:]),
+			PortA: binary.LittleEndian.Uint16(payload[24:]),
+			PortB: binary.LittleEndian.Uint16(payload[26:]),
+			Proto: netflow.Proto(payload[28]),
+		},
+		Class:       binary.LittleEndian.Uint16(payload[29:]),
+		InitSrcIP:   binary.LittleEndian.Uint32(payload[31:]),
+		InitSrcPort: binary.LittleEndian.Uint16(payload[35:]),
+		Packets:     binary.LittleEndian.Uint32(payload[37:]),
+		Bytes:       math.Float64frombits(binary.LittleEndian.Uint64(payload[41:])),
+	}
+	return nil
+}
+
+// writeAlert frames one alert record.
+func (fw *frameWriter) writeAlert(a *wireAlert) error {
+	encodeAlert(fw.rec[:alertRecordSize], a)
+	return fw.writeFrame(frameAlert, fw.rec[:alertRecordSize])
+}
+
+// encodeTelemetry renders a telemetry frame payload: one settled-flag
+// byte (1 = the engine has drained and every counter is final) followed
+// by the gob-encoded snapshot.
+func encodeTelemetry(s telemetry.Snapshot, settled bool) ([]byte, error) {
+	var buf bytes.Buffer
+	flag := byte(0)
+	if settled {
+		flag = 1
+	}
+	buf.WriteByte(flag)
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		return nil, fmt.Errorf("cluster: encoding telemetry: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeTelemetry parses a telemetry frame payload.
+func decodeTelemetry(payload []byte) (s telemetry.Snapshot, settled bool, err error) {
+	if len(payload) < 1 {
+		return s, false, fmt.Errorf("cluster: empty telemetry frame")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&s); err != nil {
+		return telemetry.Snapshot{}, false, fmt.Errorf("cluster: decoding telemetry: %w", err)
+	}
+	return s, payload[0] != 0, nil
+}

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"cyberhd/internal/netflow"
+	"cyberhd/internal/telemetry"
+)
+
+// gobEncode writes v as gob — for building hello payloads that bypass
+// encodeHello's Proto stamping.
+func gobEncode(w io.Writer, v any) error {
+	return gob.NewEncoder(w).Encode(v)
+}
+
+// frameBytes renders one frame (header + payload) to raw bytes.
+func frameBytes(t *testing.T, ft frameType, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writeFrame(ft, payload); err != nil {
+		t.Fatalf("writeFrame(%d, %d bytes): %v", ft, len(payload), err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// readOne decodes exactly one frame from raw bytes.
+func readOne(t *testing.T, raw []byte) (frameType, []byte, error) {
+	t.Helper()
+	return newFrameReader(bytes.NewReader(raw)).next()
+}
+
+func testHello() helloState {
+	mean := make([]float32, netflow.NumFeatures)
+	inv := make([]float32, netflow.NumFeatures)
+	for i := range mean {
+		mean[i] = float32(i) * 0.5
+		inv[i] = 1 / (1 + float32(i))
+	}
+	return helloState{
+		ClassNames: []string{"benign", "dos", "scan"},
+		NormMean:   mean, NormInvStd: inv,
+		BenignClass: 0, BatchSize: 64, Width: 8,
+		Shards: 2, ShardBuffer: 128,
+		IdleTimeout: 120, ActivityGap: 5,
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	want := testHello()
+	payload, err := encodeHello(want)
+	if err != nil {
+		t.Fatalf("encodeHello: %v", err)
+	}
+	raw := frameBytes(t, frameHello, payload)
+	ft, got, err := readOne(t, raw)
+	if err != nil || ft != frameHello {
+		t.Fatalf("next: type %d err %v", ft, err)
+	}
+	h, err := decodeHello(got)
+	if err != nil {
+		t.Fatalf("decodeHello: %v", err)
+	}
+	want.Proto = helloProto
+	if h.BenignClass != want.BenignClass || h.BatchSize != want.BatchSize ||
+		h.Width != want.Width || h.Shards != want.Shards || h.ShardBuffer != want.ShardBuffer ||
+		h.IdleTimeout != want.IdleTimeout || h.ActivityGap != want.ActivityGap {
+		t.Fatalf("hello scalar mismatch: %+v", h)
+	}
+	if len(h.ClassNames) != 3 || h.ClassNames[1] != "dos" {
+		t.Fatalf("class names: %v", h.ClassNames)
+	}
+	for i := range want.NormMean {
+		if h.NormMean[i] != want.NormMean[i] || h.NormInvStd[i] != want.NormInvStd[i] {
+			t.Fatalf("normalizer mismatch at %d", i)
+		}
+	}
+}
+
+func TestDecodeHelloRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*helloState)
+		errSub string
+	}{
+		{"wrong proto", func(h *helloState) { h.Proto = 99 }, "protocol"},
+		{"no classes", func(h *helloState) { h.ClassNames = nil }, "classes"},
+		{"too many classes", func(h *helloState) { h.ClassNames = make([]string, maxHelloClasses+1) }, "classes"},
+		{"benign out of range", func(h *helloState) { h.BenignClass = 7 }, "benign"},
+		{"short normalizer", func(h *helloState) { h.NormMean = h.NormMean[:3] }, "normalizer"},
+		{"negative batch", func(h *helloState) { h.BatchSize = -1 }, "batch"},
+		{"huge shards", func(h *helloState) { h.Shards = 1 << 20 }, "shard"},
+		{"NaN timeout", func(h *helloState) { h.IdleTimeout = math.NaN() }, "finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Encode raw gob (not encodeHello, which stamps Proto) so the
+			// mutation survives the trip.
+			h := testHello()
+			h.Proto = helloProto
+			tc.mutate(&h)
+			var buf bytes.Buffer
+			if err := gobEncode(&buf, &h); err != nil {
+				t.Fatalf("gob: %v", err)
+			}
+			if _, err := decodeHello(buf.Bytes()); err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("decodeHello: err %v, want substring %q", err, tc.errSub)
+			}
+		})
+	}
+	if _, err := decodeHello([]byte("not gob at all")); err == nil {
+		t.Fatal("decodeHello accepted garbage")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, want := range []ackState{
+		{OK: true, Version: 42},
+		{OK: false, Version: 7, Msg: "geometry mismatch"},
+	} {
+		payload, err := encodeAck(want)
+		if err != nil {
+			t.Fatalf("encodeAck: %v", err)
+		}
+		ft, got, err := readOne(t, frameBytes(t, frameAck, payload))
+		if err != nil || ft != frameAck {
+			t.Fatalf("next: type %d err %v", ft, err)
+		}
+		a, err := decodeAck(got)
+		if err != nil {
+			t.Fatalf("decodeAck: %v", err)
+		}
+		if a != want {
+			t.Fatalf("ack round trip: got %+v want %+v", a, want)
+		}
+	}
+	if _, err := decodeAck([]byte{0xff, 0x00, 0x13}); err == nil {
+		t.Fatal("decodeAck accepted garbage")
+	}
+}
+
+func TestPacketFrameRoundTrip(t *testing.T) {
+	want := netflow.Packet{
+		Time:  123.456789,
+		SrcIP: 0x0a000001, DstIP: 0xc0a80102,
+		SrcPort: 443, DstPort: 51515,
+		Proto: netflow.TCP, Length: 1500, HeaderLen: 40,
+		Flags: 0x18,
+	}
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writePacket(&want); err != nil {
+		t.Fatalf("writePacket: %v", err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	ft, payload, err := readOne(t, buf.Bytes())
+	if err != nil || ft != framePacket {
+		t.Fatalf("next: type %d err %v", ft, err)
+	}
+	var got netflow.Packet
+	if err := decodePacket(payload, &got); err != nil {
+		t.Fatalf("decodePacket: %v", err)
+	}
+	if got != want {
+		t.Fatalf("packet round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := decodePacket(payload[:10], &got); err == nil {
+		t.Fatal("decodePacket accepted short payload")
+	}
+}
+
+func TestTickFrameRoundTrip(t *testing.T) {
+	for _, want := range []float64{0, 1, 3600.5, 1e9, -1} {
+		var buf bytes.Buffer
+		fw := newFrameWriter(&buf)
+		if err := fw.writeTick(want); err != nil {
+			t.Fatalf("writeTick(%v): %v", want, err)
+		}
+		if err := fw.flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		ft, payload, err := readOne(t, buf.Bytes())
+		if err != nil || ft != frameTick {
+			t.Fatalf("next: type %d err %v", ft, err)
+		}
+		got, err := decodeTick(payload)
+		if err != nil || got != want {
+			t.Fatalf("tick round trip: got %v err %v want %v", got, err, want)
+		}
+	}
+	if _, err := decodeTick([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decodeTick accepted short payload")
+	}
+}
+
+func TestAlertFrameRoundTrip(t *testing.T) {
+	want := wireAlert{
+		Time: 98.76, FirstTime: 12.34,
+		Key: netflow.FlowKey{
+			IPA: 0x0a000001, IPB: 0x0a000002,
+			PortA: 80, PortB: 40000, Proto: netflow.TCP,
+		},
+		Class:     3,
+		InitSrcIP: 0x0a000002, InitSrcPort: 40000,
+		Packets: 917, Bytes: 123456.5,
+	}
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writeAlert(&want); err != nil {
+		t.Fatalf("writeAlert: %v", err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	ft, payload, err := readOne(t, buf.Bytes())
+	if err != nil || ft != frameAlert {
+		t.Fatalf("next: type %d err %v", ft, err)
+	}
+	var got wireAlert
+	if err := decodeAlert(payload, &got); err != nil {
+		t.Fatalf("decodeAlert: %v", err)
+	}
+	if got != want {
+		t.Fatalf("alert round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := decodeAlert(payload[:20], &got); err == nil {
+		t.Fatal("decodeAlert accepted short payload")
+	}
+}
+
+func TestTelemetryFrameRoundTrip(t *testing.T) {
+	c := telemetry.New([]string{"benign", "dos"})
+	c.AddPackets(100)
+	for i := 0; i < 7; i++ {
+		c.FlowCompleted()
+	}
+	c.Verdict(1, true, 0.5)
+	c.AddDropped(telemetry.DropBackpressure, 3)
+	c.AddDroppedTenant(42, 3)
+	want := c.Snapshot()
+	for _, settled := range []bool{false, true} {
+		payload, err := encodeTelemetry(want, settled)
+		if err != nil {
+			t.Fatalf("encodeTelemetry: %v", err)
+		}
+		ft, raw, err := readOne(t, frameBytes(t, frameTelemetry, payload))
+		if err != nil || ft != frameTelemetry {
+			t.Fatalf("next: type %d err %v", ft, err)
+		}
+		got, gotSettled, err := decodeTelemetry(raw)
+		if err != nil {
+			t.Fatalf("decodeTelemetry: %v", err)
+		}
+		if gotSettled != settled {
+			t.Fatalf("settled flag: got %v want %v", gotSettled, settled)
+		}
+		if got.Packets != 100 || got.Flows != 7 || got.Alerts != 1 ||
+			got.Dropped[telemetry.DropBackpressure] != 3 {
+			t.Fatalf("telemetry counters: %+v", got)
+		}
+		if len(got.DroppedByTenant) != 1 || got.DroppedByTenant[0].Key != 42 {
+			t.Fatalf("telemetry tenant drops: %+v", got.DroppedByTenant)
+		}
+	}
+	if _, _, err := decodeTelemetry(nil); err == nil {
+		t.Fatal("decodeTelemetry accepted empty payload")
+	}
+	if _, _, err := decodeTelemetry([]byte{0, 0xde, 0xad}); err == nil {
+		t.Fatal("decodeTelemetry accepted garbage gob")
+	}
+}
+
+func TestEmptyFrames(t *testing.T) {
+	for _, ft := range []frameType{frameFlush, frameBye} {
+		gotT, payload, err := readOne(t, frameBytes(t, ft, nil))
+		if err != nil || gotT != ft || len(payload) != 0 {
+			t.Fatalf("type %d: got type %d payload %d err %v", ft, gotT, len(payload), err)
+		}
+	}
+}
+
+// TestFrameCRCFlipDetected flips every byte of a frame in turn: every
+// mutation must surface as an error (header corruption or CRC mismatch),
+// never as a silently different payload.
+func TestFrameCRCFlipDetected(t *testing.T) {
+	payload, err := encodeAck(ackState{OK: true, Version: 5})
+	if err != nil {
+		t.Fatalf("encodeAck: %v", err)
+	}
+	raw := frameBytes(t, frameAck, payload)
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		ft, got, err := readOne(t, mut)
+		if err != nil {
+			continue // detected: good
+		}
+		// The only acceptable decode is one that still fails downstream
+		// or returns the identical payload with the identical type — a
+		// flipped byte cannot do either for this frame.
+		if ft == frameAck && bytes.Equal(got, payload) {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+		t.Fatalf("flip at byte %d decoded as type %d without error", i, ft)
+	}
+}
+
+// TestFrameTruncationErrors truncates a frame at every length: the reader
+// must return io.EOF only for the zero-byte case and an error (typically
+// io.ErrUnexpectedEOF wrapped) for every partial prefix — never a frame.
+func TestFrameTruncationErrors(t *testing.T) {
+	payload, err := encodeAck(ackState{OK: true, Version: 9, Msg: "hi"})
+	if err != nil {
+		t.Fatalf("encodeAck: %v", err)
+	}
+	raw := frameBytes(t, frameAck, payload)
+	for n := 0; n < len(raw); n++ {
+		_, _, err := readOne(t, raw[:n])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d bytes returned a frame", n, len(raw))
+		}
+		if n == 0 && err != io.EOF {
+			t.Fatalf("empty stream: err %v, want io.EOF", err)
+		}
+		if n > 0 && err == io.EOF {
+			t.Fatalf("truncation at %d surfaced as clean EOF", n)
+		}
+	}
+}
+
+// TestHostileLengthPrefix hands the reader headers declaring huge
+// payloads: out-of-bounds claims error before allocation, in-bounds
+// claims on a truncated stream error after reading only what arrived.
+func TestHostileLengthPrefix(t *testing.T) {
+	hdr := func(ft frameType, n uint32) []byte {
+		h := make([]byte, frameHeaderSize)
+		h[0] = byte(ft)
+		h[1], h[2], h[3], h[4] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		return h
+	}
+	// Claim above the type cap: bounds error, no read attempt.
+	if _, _, err := readOne(t, hdr(frameAck, 1<<30)); err == nil ||
+		!strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("oversized ack claim: %v", err)
+	}
+	// Unknown type: rejected before length is even considered.
+	if _, _, err := readOne(t, hdr(frameType(200), 4)); err == nil ||
+		!strings.Contains(err.Error(), "unknown frame type") {
+		t.Fatalf("unknown type: %v", err)
+	}
+	// Fixed-size type with the wrong length: bounds error.
+	if _, _, err := readOne(t, hdr(framePacket, 31)); err == nil ||
+		!strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("short packet claim: %v", err)
+	}
+	// In-bounds snapshot claim (256 MiB) with no payload bytes behind it:
+	// must error from truncation without staging the full claim.
+	if _, _, err := readOne(t, hdr(frameSnapshot, 1<<28)); err == nil {
+		t.Fatal("truncated snapshot claim returned a frame")
+	}
+}
+
+// TestFrameWriterRejectsOutOfBounds pins the writer-side bounds check.
+func TestFrameWriterRejectsOutOfBounds(t *testing.T) {
+	fw := newFrameWriter(io.Discard)
+	if err := fw.writeFrame(frameTick, make([]byte, 3)); err == nil {
+		t.Fatal("writeFrame accepted short tick")
+	}
+	if err := fw.writeFrame(frameType(99), nil); err == nil {
+		t.Fatal("writeFrame accepted unknown type")
+	}
+	if err := fw.writeFrame(frameAck, make([]byte, maxAckPayload+1)); err == nil {
+		t.Fatal("writeFrame accepted oversized ack")
+	}
+}
+
+// TestFrameSequence pins multi-frame streams: several frames written
+// back-to-back decode in order, and the reader's reused payload buffer
+// never bleeds between frames of different sizes.
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	p := netflow.Packet{Time: 1.5, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: netflow.UDP, Length: 100, HeaderLen: 28}
+	if err := fw.writePacket(&p); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.writeTick(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.writeFrame(frameFlush, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.writeFrame(frameBye, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := newFrameReader(bytes.NewReader(buf.Bytes()))
+	wantTypes := []frameType{framePacket, frameTick, frameFlush, frameBye}
+	for i, want := range wantTypes {
+		ft, _, err := fr.next()
+		if err != nil || ft != want {
+			t.Fatalf("frame %d: type %d err %v, want %d", i, ft, err, want)
+		}
+	}
+	if _, _, err := fr.next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}

@@ -308,6 +308,32 @@ func (p *Plane) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Apply runs one model snapshot stream through the full upload gates —
+// decode, geometry validation against the serving model, sanity scoring
+// at the serving width — and publishes it as the primary with one atomic
+// COW swap. It is the transport-free form of POST /model (mode=reload):
+// the cluster worker applies replicated snapshots through it, so a
+// snapshot pushed over the wire clears exactly the gates an HTTP upload
+// would. The returned version is the serving version after the call; on
+// error the serving model, its version, and the verdict stream are
+// bit-identically untouched.
+func (p *Plane) Apply(r io.Reader) (uint64, error) {
+	m, info, err := core.DecodeSnapshot(io.LimitReader(r, p.maxUp))
+	if err != nil {
+		return p.cow.Version(), fmt.Errorf("decoding model: %w", err)
+	}
+	if err := p.validate(m, info); err != nil {
+		return p.cow.Version(), err
+	}
+	if err := p.runSanity(m, p.sanity); err != nil {
+		return p.cow.Version(), err
+	}
+	if err := p.cow.ReplaceModel(m); err != nil {
+		return p.cow.Version(), err
+	}
+	return p.cow.Version(), nil
+}
+
 // handlePromote publishes the current shadow candidate as the primary —
 // one atomic COW swap — and detaches the tap (with identical models
 // serving, divergence is zero by construction, so the tap carries no

@@ -449,3 +449,44 @@ func TestStatusShape(t *testing.T) {
 		t.Fatalf("unexpected status %+v", st)
 	}
 }
+
+// TestApplyRunsTheUploadGates pins the transport-free reload path the
+// cluster replicates snapshots through: a valid snapshot publishes with
+// one version bump, and every rejection class — garbage bytes, wrong
+// geometry — leaves the serving model and version untouched, exactly
+// like its HTTP counterpart.
+func TestApplyRunsTheUploadGates(t *testing.T) {
+	m, _, _ := trainModel(t, 3, 8, 64, 11)
+	cow := core.NewCOWModel(m)
+	p, err := New(Config{Model: cow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := cow.Version()
+
+	// Valid snapshot: accepted, exactly one COW publication.
+	good := snapshotBytes(t, m)
+	v, err := p.Apply(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != v0+1 || cow.Version() != v0+1 {
+		t.Fatalf("Apply version = %d, cow = %d, want %d", v, cow.Version(), v0+1)
+	}
+
+	// Garbage: rejected at decode, version untouched.
+	if v, err := p.Apply(strings.NewReader("not a model snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	} else if v != v0+1 || cow.Version() != v0+1 {
+		t.Fatalf("rejected Apply moved the version: %d / %d", v, cow.Version())
+	}
+
+	// Wrong geometry (different hyperspace dim): rejected at validate.
+	other, _, _ := trainModel(t, 3, 8, 128, 13)
+	if _, err := p.Apply(bytes.NewReader(snapshotBytes(t, other))); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if cow.Version() != v0+1 {
+		t.Fatalf("geometry rejection moved the version to %d", cow.Version())
+	}
+}

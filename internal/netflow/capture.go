@@ -18,9 +18,56 @@ const (
 	captureMagic     = uint32(0xCBD0CAF7)
 	captureVersion   = uint32(1)
 	packetRecordSize = 8 + 4 + 4 + 2 + 2 + 1 + 4 + 4 + 1 + 2 // 32 bytes
+
+	// captureCountStreaming is the header count sentinel written by
+	// CaptureWriter when the record count is not known upfront and the
+	// destination cannot be seeked back to patch it: records simply run
+	// until EOF.
+	captureCountStreaming = ^uint32(0)
 )
 
-// WriteCapture serializes packets to w.
+// PacketRecordSize is the fixed encoded size of one capture packet record
+// in bytes. The cluster wire protocol reuses the record encoding verbatim
+// as its packet-frame payload.
+const PacketRecordSize = packetRecordSize
+
+// EncodePacketRecord encodes p into dst, which must hold at least
+// PacketRecordSize bytes. The layout is the capture record format:
+// fixed-width little-endian fields, fully deterministic.
+func EncodePacketRecord(dst []byte, p *Packet) {
+	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(p.Time))
+	binary.LittleEndian.PutUint32(dst[8:], p.SrcIP)
+	binary.LittleEndian.PutUint32(dst[12:], p.DstIP)
+	binary.LittleEndian.PutUint16(dst[16:], p.SrcPort)
+	binary.LittleEndian.PutUint16(dst[18:], p.DstPort)
+	dst[20] = byte(p.Proto)
+	binary.LittleEndian.PutUint32(dst[21:], uint32(p.Length))
+	binary.LittleEndian.PutUint32(dst[25:], uint32(p.HeaderLen))
+	dst[29] = p.Flags
+	binary.LittleEndian.PutUint16(dst[30:], p.WindowSize)
+}
+
+// DecodePacketRecord decodes one capture packet record from src, which
+// must hold at least PacketRecordSize bytes, into *p. The inverse of
+// EncodePacketRecord; every record round-trips bit-identically.
+func DecodePacketRecord(src []byte, p *Packet) {
+	*p = Packet{
+		Time:       math.Float64frombits(binary.LittleEndian.Uint64(src[0:])),
+		SrcIP:      binary.LittleEndian.Uint32(src[8:]),
+		DstIP:      binary.LittleEndian.Uint32(src[12:]),
+		SrcPort:    binary.LittleEndian.Uint16(src[16:]),
+		DstPort:    binary.LittleEndian.Uint16(src[18:]),
+		Proto:      Proto(src[20]),
+		Length:     int(binary.LittleEndian.Uint32(src[21:])),
+		HeaderLen:  int(binary.LittleEndian.Uint32(src[25:])),
+		Flags:      src[29],
+		WindowSize: binary.LittleEndian.Uint16(src[30:]),
+	}
+}
+
+// WriteCapture serializes packets to w. The slice form of CaptureWriter —
+// use the writer directly when packets stream from a source too large to
+// hold in memory.
 func WriteCapture(w io.Writer, packets []Packet) error {
 	bw := bufio.NewWriter(w)
 	var hdr [12]byte
@@ -32,17 +79,7 @@ func WriteCapture(w io.Writer, packets []Packet) error {
 	}
 	var rec [packetRecordSize]byte
 	for i := range packets {
-		p := &packets[i]
-		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(p.Time))
-		binary.LittleEndian.PutUint32(rec[8:], p.SrcIP)
-		binary.LittleEndian.PutUint32(rec[12:], p.DstIP)
-		binary.LittleEndian.PutUint16(rec[16:], p.SrcPort)
-		binary.LittleEndian.PutUint16(rec[18:], p.DstPort)
-		rec[20] = byte(p.Proto)
-		binary.LittleEndian.PutUint32(rec[21:], uint32(p.Length))
-		binary.LittleEndian.PutUint32(rec[25:], uint32(p.HeaderLen))
-		rec[29] = p.Flags
-		binary.LittleEndian.PutUint16(rec[30:], p.WindowSize)
+		EncodePacketRecord(rec[:], &packets[i])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -50,12 +87,100 @@ func WriteCapture(w io.Writer, packets []Packet) error {
 	return bw.Flush()
 }
 
+// CaptureWriter appends packets to a capture stream one record at a time
+// in O(1) memory — the writing counterpart of CaptureScanner, for sources
+// too large (or too live) to buffer as a []Packet first.
+//
+// The header's record count is not known until Close. When the
+// destination is seekable (an *os.File), Close seeks back and patches the
+// true count, producing a capture byte-identical to WriteCapture over the
+// same packets. Otherwise the header carries a streaming sentinel and
+// readers count records until EOF; CaptureScanner understands both forms.
+type CaptureWriter struct {
+	bw     *bufio.Writer
+	seeker io.WriteSeeker // non-nil when the header count is patchable
+	n      uint32
+	closed bool
+	rec    [packetRecordSize]byte
+}
+
+// NewCaptureWriter writes a capture header to w and returns a writer
+// positioned for the first record. See CaptureWriter for how the record
+// count in the header is resolved at Close.
+func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
+	cw := &CaptureWriter{bw: bufio.NewWriter(w)}
+	cw.seeker, _ = w.(io.WriteSeeker)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], captureMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], captureVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], captureCountStreaming)
+	if _, err := cw.bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("netflow: capture header: %w", err)
+	}
+	return cw, nil
+}
+
+// Write appends one packet record. Returns an error after Close.
+func (cw *CaptureWriter) Write(p *Packet) error {
+	if cw.closed {
+		return fmt.Errorf("netflow: CaptureWriter: write after Close")
+	}
+	if cw.n == captureCountStreaming-1 {
+		return fmt.Errorf("netflow: CaptureWriter: capture full (%d records)", cw.n)
+	}
+	EncodePacketRecord(cw.rec[:], p)
+	if _, err := cw.bw.Write(cw.rec[:]); err != nil {
+		return err
+	}
+	cw.n++
+	return nil
+}
+
+// Count returns how many records have been written so far.
+func (cw *CaptureWriter) Count() int { return int(cw.n) }
+
+// Close flushes buffered records and finalizes the header: on a seekable
+// destination the true record count is patched in place (and the write
+// position restored); otherwise the streaming sentinel stands and the
+// capture ends at EOF. Close does not close the underlying writer.
+// Idempotent.
+func (cw *CaptureWriter) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	if err := cw.bw.Flush(); err != nil {
+		return err
+	}
+	if cw.seeker == nil {
+		return nil
+	}
+	end, err := cw.seeker.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("netflow: CaptureWriter: locating end: %w", err)
+	}
+	if _, err := cw.seeker.Seek(8, io.SeekStart); err != nil {
+		return fmt.Errorf("netflow: CaptureWriter: seeking header: %w", err)
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], cw.n)
+	if _, err := cw.seeker.Write(cnt[:]); err != nil {
+		return fmt.Errorf("netflow: CaptureWriter: patching count: %w", err)
+	}
+	if _, err := cw.seeker.Seek(end, io.SeekStart); err != nil {
+		return fmt.Errorf("netflow: CaptureWriter: restoring position: %w", err)
+	}
+	return nil
+}
+
 // CaptureScanner streams packets out of a capture written by WriteCapture
-// one record at a time — replaying a multi-gigabyte capture costs one
-// record buffer, not the whole file. It implements PacketSource.
+// or CaptureWriter one record at a time — replaying a multi-gigabyte
+// capture costs one record buffer, not the whole file. It implements
+// PacketSource.
 type CaptureScanner struct {
-	br   *bufio.Reader
-	left uint32
+	br        *bufio.Reader
+	left      uint32
+	streaming bool // sentinel count: records run until EOF
 	// rec is the reused record buffer — a local would escape through the
 	// io.ReadFull interface call and cost one allocation per packet.
 	rec [packetRecordSize]byte
@@ -75,38 +200,46 @@ func NewCaptureScanner(r io.Reader) (*CaptureScanner, error) {
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != captureVersion {
 		return nil, fmt.Errorf("netflow: unsupported capture version %d", v)
 	}
-	return &CaptureScanner{br: br, left: binary.LittleEndian.Uint32(hdr[8:])}, nil
+	count := binary.LittleEndian.Uint32(hdr[8:])
+	if count == captureCountStreaming {
+		return &CaptureScanner{br: br, streaming: true}, nil
+	}
+	return &CaptureScanner{br: br, left: count}, nil
 }
 
-// Remaining returns how many records have not been read yet.
-func (s *CaptureScanner) Remaining() int { return int(s.left) }
+// Remaining returns how many records have not been read yet, or -1 for a
+// streaming capture (sentinel count: the total is only known at EOF).
+func (s *CaptureScanner) Remaining() int {
+	if s.streaming {
+		return -1
+	}
+	return int(s.left)
+}
 
 // Next decodes the next record into *p, or returns io.EOF after the last
 // one. A capture truncated mid-record returns a wrapped ErrUnexpectedEOF.
 func (s *CaptureScanner) Next(p *Packet) error {
-	if s.left == 0 {
+	if !s.streaming && s.left == 0 {
 		return io.EOF
 	}
 	rec := s.rec[:]
 	if _, err := io.ReadFull(s.br, rec); err != nil {
 		if err == io.EOF {
+			if s.streaming {
+				// Clean record boundary: the streaming capture ends here.
+				return io.EOF
+			}
 			err = io.ErrUnexpectedEOF
+		}
+		if s.streaming {
+			return fmt.Errorf("netflow: capture record (streaming): %w", err)
 		}
 		return fmt.Errorf("netflow: capture record (%d remaining): %w", s.left, err)
 	}
-	s.left--
-	*p = Packet{
-		Time:       math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-		SrcIP:      binary.LittleEndian.Uint32(rec[8:]),
-		DstIP:      binary.LittleEndian.Uint32(rec[12:]),
-		SrcPort:    binary.LittleEndian.Uint16(rec[16:]),
-		DstPort:    binary.LittleEndian.Uint16(rec[18:]),
-		Proto:      Proto(rec[20]),
-		Length:     int(binary.LittleEndian.Uint32(rec[21:])),
-		HeaderLen:  int(binary.LittleEndian.Uint32(rec[25:])),
-		Flags:      rec[29],
-		WindowSize: binary.LittleEndian.Uint16(rec[30:]),
+	if !s.streaming {
+		s.left--
 	}
+	DecodePacketRecord(rec, p)
 	return nil
 }
 
@@ -140,7 +273,11 @@ func ReadCapture(r io.Reader) ([]Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	packets := make([]Packet, 0, s.Remaining())
+	hint := s.Remaining()
+	if hint < 0 {
+		hint = 0 // streaming capture: total unknown until EOF
+	}
+	packets := make([]Packet, 0, hint)
 	var p Packet
 	for {
 		if err := s.Next(&p); err != nil {

@@ -291,3 +291,134 @@ func TestSliceSource(t *testing.T) {
 		t.Fatalf("Remaining after drain = %d", src.Remaining())
 	}
 }
+
+func TestCaptureWriterSeekableBitIdentical(t *testing.T) {
+	// On a seekable destination the streamed capture is byte-identical to
+	// WriteCapture over the same packets: Close patches the true count.
+	pkts := samplePackets()
+	var want bytes.Buffer
+	if err := WriteCapture(&want, pkts); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/stream.cap"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewCaptureWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if err := cw.Write(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cw.Count() != len(pkts) {
+		t.Fatalf("Count = %d, want %d", cw.Count(), len(pkts))
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streamed capture differs from WriteCapture: %d vs %d bytes", len(got), want.Len())
+	}
+	back, err := LoadCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pkts) {
+		t.Fatalf("loaded %d packets, want %d", len(back), len(pkts))
+	}
+}
+
+func TestCaptureWriterStreamingSentinel(t *testing.T) {
+	// A non-seekable destination keeps the sentinel count; the scanner
+	// reads records until EOF and reports an unknown Remaining.
+	pkts := samplePackets()
+	var buf bytes.Buffer
+	cw, err := NewCaptureWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if err := cw.Write(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(&pkts[0]); err == nil {
+		t.Fatal("Write after Close accepted")
+	}
+	s, err := NewCaptureScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining() != -1 {
+		t.Fatalf("streaming Remaining = %d, want -1", s.Remaining())
+	}
+	var p Packet
+	for i := 0; ; i++ {
+		err := s.Next(&p)
+		if err == io.EOF {
+			if i != len(pkts) {
+				t.Fatalf("EOF after %d packets, want %d", i, len(pkts))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != pkts[i] {
+			t.Fatalf("packet %d differs: %+v != %+v", i, p, pkts[i])
+		}
+	}
+	// ReadCapture handles the unknown-count form too.
+	back, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pkts) {
+		t.Fatalf("ReadCapture streaming: %d packets, want %d", len(back), len(pkts))
+	}
+	// Truncation mid-record is an error, not a silent short read.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	s2, err := NewCaptureScanner(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for {
+		if got = s2.Next(&p); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated streaming record error = %v, want ErrUnexpectedEOF", got)
+	}
+}
+
+func TestPacketRecordCodecRoundTrip(t *testing.T) {
+	pkts := samplePackets()
+	var rec [PacketRecordSize]byte
+	var back Packet
+	for i := range pkts {
+		EncodePacketRecord(rec[:], &pkts[i])
+		DecodePacketRecord(rec[:], &back)
+		if back != pkts[i] {
+			t.Fatalf("record %d round trip: %+v != %+v", i, back, pkts[i])
+		}
+	}
+}

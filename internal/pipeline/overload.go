@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -240,7 +241,19 @@ var _ Stream = (*Gate)(nil)
 // The gate shares inner's telemetry collector.
 func NewGate(inner Stream, pol OverloadPolicy) *Gate {
 	pol.Mode = OverloadBounded
+	defaultTenantKey := pol.TenantKey == nil
 	pol = pol.withDefaults()
+	if tel := inner.Telemetry(); tel != nil && defaultTenantKey {
+		// The default key is the /DefaultTenantBits source subnet of the
+		// canonical flow endpoint — label the per-tenant drop metric in
+		// CIDR form instead of a bare integer. Custom keys keep the
+		// decimal default (or install their own via SetTenantLabeler).
+		tel.SetTenantLabeler(func(key uint64) string {
+			ip := uint32(key) << (32 - DefaultTenantBits)
+			return fmt.Sprintf("%d.%d.%d.%d/%d",
+				byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip), DefaultTenantBits)
+		})
+	}
 	g := &Gate{
 		inner:   inner,
 		pol:     pol,
@@ -332,9 +345,12 @@ func (g *Gate) admit(p netflow.Packet, wait time.Duration) bool {
 	return true
 }
 
-// drop counts one refused packet. Caller holds the gate lock.
+// drop counts one refused packet — the reason total plus the per-tenant
+// attribution, so every shed packet is billable to the tenant that
+// offered it. Caller holds the gate lock.
 func (g *Gate) drop(p netflow.Packet, r telemetry.DropReason) {
 	g.tel.AddDropped(r, 1)
+	g.tel.AddDroppedTenant(g.pol.TenantKey(&p), 1)
 	if g.pol.OnDrop != nil {
 		g.pol.OnDrop(p, r)
 	}

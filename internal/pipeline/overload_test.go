@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -451,5 +452,87 @@ func BenchmarkOverloadIngress(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.Time = float64(i) * 1e-6
 		g.Feed(p)
+	}
+}
+
+// TestGateAttributesDropsByTenant pins the per-tenant drop breakdown:
+// every shed packet shows up under its tenant's key with the default
+// CIDR label, the attributed counts sum to the reason totals, and the
+// Prometheus surface exports the bounded-cardinality series.
+func TestGateAttributesDropsByTenant(t *testing.T) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(eng, OverloadPolicy{TenantRate: 1, TenantBurst: 2})
+	// Two noisy tenants in distinct /24s, offered in the same capture
+	// instant: burst 2 admits two flows each, the rest shed.
+	for i := 0; i < 10; i++ {
+		g.Feed(tcpPkt(0x0A000001, 0x0B000001, uint16(1000+i), 80, 1.0, 0)) // 10.0.0.0/24
+	}
+	for i := 0; i < 6; i++ {
+		g.Feed(tcpPkt(0x0C000001, 0x0D000001, uint16(2000+i), 80, 1.0, 0)) // 12.0.0.0/24
+	}
+	g.Close()
+	st := g.Telemetry().Snapshot()
+	if st.DroppedTotal() != 12 {
+		t.Fatalf("DroppedTotal = %d, want 12 (8 + 4)", st.DroppedTotal())
+	}
+	var attributed int64
+	byLabel := map[string]int64{}
+	for _, td := range st.DroppedByTenant {
+		attributed += td.Dropped
+		byLabel[td.Label] = td.Dropped
+	}
+	if attributed+st.DroppedByTenantOther != st.DroppedTotal() {
+		t.Fatalf("attributed %d + other %d != total %d",
+			attributed, st.DroppedByTenantOther, st.DroppedTotal())
+	}
+	if byLabel["10.0.0.0/24"] != 8 {
+		t.Fatalf("10.0.0.0/24 drops = %d, want 8 (%v)", byLabel["10.0.0.0/24"], byLabel)
+	}
+	if byLabel["12.0.0.0/24"] != 4 {
+		t.Fatalf("12.0.0.0/24 drops = %d, want 4 (%v)", byLabel["12.0.0.0/24"], byLabel)
+	}
+	// Most-dropped first.
+	if st.DroppedByTenant[0].Label != "10.0.0.0/24" {
+		t.Fatalf("top tenant = %q, want the noisiest", st.DroppedByTenant[0].Label)
+	}
+	var prom strings.Builder
+	if err := st.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		telemetry.MetricDroppedByTenant + `{tenant="10.0.0.0/24"} 8`,
+		telemetry.MetricDroppedByTenant + `{tenant="12.0.0.0/24"} 4`,
+		telemetry.MetricDroppedByTenant + `{tenant="other"} 0`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom.String())
+		}
+	}
+}
+
+// TestTenantDropCardinalityBounded pins the flood defense: a key-churning
+// attacker (more distinct tenant keys than the tracking cap) cannot grow
+// the map or the exported series without bound — the overflow folds into
+// "other" and the snapshot breaks out at most TopTenantDrops tenants.
+func TestTenantDropCardinalityBounded(t *testing.T) {
+	tel := telemetry.New([]string{"benign"})
+	total := telemetry.MaxTenantDropKeys + 500
+	for k := 0; k < total; k++ {
+		tel.AddDroppedTenant(uint64(k), 1)
+	}
+	s := tel.Snapshot()
+	if len(s.DroppedByTenant) != telemetry.TopTenantDrops {
+		t.Fatalf("exported %d tenants, want %d", len(s.DroppedByTenant), telemetry.TopTenantDrops)
+	}
+	var attributed int64
+	for _, td := range s.DroppedByTenant {
+		attributed += td.Dropped
+	}
+	if attributed+s.DroppedByTenantOther != int64(total) {
+		t.Fatalf("attributed %d + other %d != %d offered",
+			attributed, s.DroppedByTenantOther, total)
 	}
 }

@@ -35,6 +35,11 @@ const (
 	// MetricDropped is the admission-gate shed counter (label: reason).
 	// Always exported; every reason reads zero in lossless mode.
 	MetricDropped = "cyberhd_packets_dropped_total"
+	// MetricDroppedByTenant is the per-tenant breakdown of MetricDropped
+	// (label: tenant). Bounded cardinality: the top TopTenantDrops tenants
+	// plus a fixed tenant="other" series that folds the rest, so a
+	// key-churning flood cannot explode the scrape page.
+	MetricDroppedByTenant = "cyberhd_packets_dropped_by_tenant_total"
 	// MetricOverloadState is the admission gate's state gauge: 0 normal,
 	// 1 pressured, 2 shedding.
 	MetricOverloadState = "cyberhd_overload_state"
@@ -74,6 +79,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for i, n := range s.Dropped {
 		fmt.Fprintf(&b, "%s{reason=\"%s\"} %d\n", MetricDropped, DropReasonNames[i], n)
 	}
+	fmt.Fprintf(&b, "# HELP %s Packets refused by the admission gate, by tenant (top %d; the rest fold into \"other\").\n# TYPE %s counter\n",
+		MetricDroppedByTenant, TopTenantDrops, MetricDroppedByTenant)
+	for _, t := range s.DroppedByTenant {
+		fmt.Fprintf(&b, "%s{tenant=\"%s\"} %d\n", MetricDroppedByTenant, escapeLabel(t.Label), t.Dropped)
+	}
+	fmt.Fprintf(&b, "%s{tenant=\"other\"} %d\n", MetricDroppedByTenant, s.DroppedByTenantOther)
 	fmt.Fprintf(&b, "# HELP %s Admission gate state: 0 normal, 1 pressured, 2 shedding.\n# TYPE %s gauge\n%s %d\n",
 		MetricOverloadState, MetricOverloadState, MetricOverloadState, s.OverloadState)
 	fmt.Fprintf(&b, "# HELP %s Entries into each admission gate state.\n# TYPE %s counter\n",
@@ -147,6 +158,7 @@ type statsJSON struct {
 	Suppressed    int64            `json:"suppressed"`
 	FeedbackOK    int64            `json:"feedback_ok"`
 	Dropped       map[string]int64 `json:"dropped_by_reason"`
+	DroppedTenant map[string]int64 `json:"dropped_by_tenant"`
 	DroppedTotal  int64            `json:"dropped_total"`
 	OverloadState string           `json:"overload_state"`
 	Transitions   map[string]int64 `json:"overload_transitions"`
@@ -182,6 +194,11 @@ func jsonOf(s Snapshot) statsJSON {
 	for i, n := range s.Dropped {
 		dropped[DropReasonNames[i]] = n
 	}
+	droppedTenant := make(map[string]int64, len(s.DroppedByTenant)+1)
+	for _, t := range s.DroppedByTenant {
+		droppedTenant[t.Label] = t.Dropped
+	}
+	droppedTenant["other"] = s.DroppedByTenantOther
 	transitions := make(map[string]int64, len(OverloadStateNames))
 	for i, n := range s.OverloadTransitions {
 		transitions[OverloadStateNames[i]] = n
@@ -193,7 +210,7 @@ func jsonOf(s Snapshot) statsJSON {
 	out := statsJSON{
 		Packets: s.Packets, Flows: s.Flows, Pending: s.Pending(),
 		Alerts: s.Alerts, Suppressed: s.Suppressed, FeedbackOK: s.FeedbackOK,
-		Dropped: dropped, DroppedTotal: s.DroppedTotal(),
+		Dropped: dropped, DroppedTenant: droppedTenant, DroppedTotal: s.DroppedTotal(),
 		OverloadState: s.OverloadStateName(),
 		Transitions:   transitions,
 		ModelVersion:  s.ModelVersion,
@@ -224,16 +241,25 @@ func Handler(c *Collector) http.Handler { return HandlerWith(c, nil) }
 // /metrics, /stats or /healthz (ServeMux panics on duplicates, at build
 // time rather than mid-serve).
 func HandlerWith(c *Collector, extra map[string]http.Handler) http.Handler {
+	return HandlerFrom(c.Snapshot, extra)
+}
+
+// HandlerFrom serves the same admin endpoints from an arbitrary snapshot
+// source instead of a single Collector — the generalization behind
+// cluster rollups, where every scrape merges the workers' latest
+// snapshots into one fleet-level page. fn is called once per request and
+// must be safe for concurrent use.
+func HandlerFrom(fn func() Snapshot, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = c.Snapshot().WritePrometheus(w)
+		_ = fn().WritePrometheus(w)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(jsonOf(c.Snapshot()))
+		_ = enc.Encode(jsonOf(fn()))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -263,11 +289,18 @@ func ListenAndServe(addr string, c *Collector) (*Server, error) {
 // (see HandlerWith) — how a serving process exposes the model control
 // plane on its existing admin endpoint.
 func ListenAndServeWith(addr string, c *Collector, extra map[string]http.Handler) (*Server, error) {
+	return ListenAndServeFrom(addr, c.Snapshot, extra)
+}
+
+// ListenAndServeFrom is ListenAndServeWith over an arbitrary snapshot
+// source (see HandlerFrom) — the cluster ingest node serves its merged
+// worker telemetry through this.
+func ListenAndServeFrom(addr string, fn func() Snapshot, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(c, extra), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerFrom(fn, extra), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

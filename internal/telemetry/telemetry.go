@@ -23,6 +23,9 @@ package telemetry
 
 import (
 	"math"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -111,6 +114,14 @@ type Collector struct {
 	// kernels is the dispatch report attached by the engine (atomic so a
 	// late SetKernels cannot race a concurrent scrape).
 	kernels atomic.Pointer[Kernels]
+
+	// tenant drop attribution: a bounded-cardinality map from tenant key
+	// to shed-packet count. Mutex-guarded rather than atomic — only the
+	// drop path pays the lock, and dropping is already the slow path.
+	tenantMu    sync.Mutex
+	tenantDrops map[uint64]int64
+	tenantOther int64 // drops beyond the MaxTenantDropKeys tracked keys
+	tenantLabel func(uint64) string
 }
 
 // Kernels identifies which kernel implementations the running build+CPU
@@ -198,6 +209,45 @@ func (c *Collector) AddDropped(r DropReason, n int) {
 	}
 }
 
+// MaxTenantDropKeys caps how many distinct tenant keys the per-tenant
+// drop breakdown tracks exactly; drops by keys beyond the cap accumulate
+// into the "other" bucket so a key-churning flood cannot grow the map
+// without bound.
+const MaxTenantDropKeys = 1024
+
+// TopTenantDrops is how many tenants a Snapshot (and with it /metrics and
+// /stats) breaks out individually — the top-K by drop count; the rest
+// fold into "other". Bounded cardinality is the contract: the exported
+// label set never exceeds TopTenantDrops+1 series.
+const TopTenantDrops = 16
+
+// AddDroppedTenant attributes n admission-gate drops to the given tenant
+// key (the same key the gate's per-tenant token buckets use). Call it
+// alongside AddDropped — the reason counters stay the totals of record,
+// this is the per-tenant breakdown of the same events.
+func (c *Collector) AddDroppedTenant(key uint64, n int) {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	if c.tenantDrops == nil {
+		c.tenantDrops = make(map[uint64]int64)
+	}
+	if _, ok := c.tenantDrops[key]; !ok && len(c.tenantDrops) >= MaxTenantDropKeys {
+		c.tenantOther += int64(n)
+		return
+	}
+	c.tenantDrops[key] += int64(n)
+}
+
+// SetTenantLabeler installs the function that renders a tenant key as its
+// exported metric label (e.g. "10.1.2.0/24" for the default source-subnet
+// keys). Without one, keys are labeled by their decimal value. Safe to
+// call before serving starts; last write wins.
+func (c *Collector) SetTenantLabeler(fn func(uint64) string) {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	c.tenantLabel = fn
+}
+
 // SetOverloadState publishes the admission gate's current state (an
 // OverloadStateNames index). Safe from any goroutine; last write wins.
 func (c *Collector) SetOverloadState(s int32) { c.overloadState.Store(s) }
@@ -259,6 +309,16 @@ type Snapshot struct {
 	// Dropped counts packets refused by the admission gate, by reason
 	// (indexed by DropReason). All zero in lossless mode.
 	Dropped [NumDropReasons]int64
+	// DroppedByTenant is the per-tenant breakdown of Dropped: the top
+	// TopTenantDrops tenants by shed packets, most-dropped first (ties by
+	// key). Empty in lossless mode.
+	DroppedByTenant []TenantDrops
+	// DroppedByTenantOther counts drops not broken out in
+	// DroppedByTenant — tenants beyond the top-K plus everything past the
+	// MaxTenantDropKeys tracking cap. The invariant is
+	// ΣDroppedByTenant + DroppedByTenantOther = ΣDropped once drops are
+	// attributed (the gate attributes every drop it counts).
+	DroppedByTenantOther int64
 	// OverloadState is the admission gate's state at snapshot time (an
 	// OverloadStateNames index); 0 (normal) when no gate is attached.
 	OverloadState int32
@@ -282,6 +342,17 @@ type Snapshot struct {
 	Latency LatencySnapshot
 	// Kernels is the dispatch report, zero until SetKernels is called.
 	Kernels Kernels
+}
+
+// TenantDrops is one tenant's entry in the per-tenant drop breakdown.
+type TenantDrops struct {
+	// Key is the tenant key the admission gate bucketed by.
+	Key uint64 `json:"key"`
+	// Label is the exported metric label for the key (see
+	// SetTenantLabeler); decimal of Key when no labeler is installed.
+	Label string `json:"label"`
+	// Dropped counts packets shed from this tenant.
+	Dropped int64 `json:"dropped"`
 }
 
 // LatencySnapshot is the verdict-latency histogram at snapshot time.
@@ -358,6 +429,10 @@ func (c *Collector) Snapshot() Snapshot {
 		ByClass:        make([]int64, len(c.byClass)),
 		ShadowDiverged: make([]int64, len(c.shadowDiverged)),
 	}
+	// Tenant attribution before the reason totals (the gate counts the
+	// reason first, then attributes), so a mid-run snapshot never shows
+	// more attributed drops than counted ones.
+	s.DroppedByTenant, s.DroppedByTenantOther = c.tenantSnapshot()
 	for i := range c.dropped {
 		s.Dropped[i] = c.dropped[i].Load()
 	}
@@ -387,4 +462,130 @@ func (c *Collector) Snapshot() Snapshot {
 		s.Kernels = *k
 	}
 	return s
+}
+
+// tenantSnapshot renders the bounded per-tenant drop map as the top-K
+// breakdown plus the folded remainder.
+func (c *Collector) tenantSnapshot() ([]TenantDrops, int64) {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	if len(c.tenantDrops) == 0 {
+		return nil, c.tenantOther
+	}
+	all := make([]TenantDrops, 0, len(c.tenantDrops))
+	for k, n := range c.tenantDrops {
+		all = append(all, TenantDrops{Key: k, Dropped: n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dropped != all[j].Dropped {
+			return all[i].Dropped > all[j].Dropped
+		}
+		return all[i].Key < all[j].Key
+	})
+	other := c.tenantOther
+	if len(all) > TopTenantDrops {
+		for _, t := range all[TopTenantDrops:] {
+			other += t.Dropped
+		}
+		all = all[:TopTenantDrops]
+	}
+	label := c.tenantLabel
+	for i := range all {
+		if label != nil {
+			all[i].Label = label(all[i].Key)
+		} else {
+			all[i].Label = strconv.FormatUint(all[i].Key, 10)
+		}
+	}
+	return all, other
+}
+
+// Merge folds worker snapshots into one cluster-level rollup: counters
+// and histograms sum, gauges take the conservative reading. Class labels
+// (and with them ByClass/ShadowDiverged widths) come from the first
+// snapshot that has any — a cluster runs one class list, so the per-class
+// sums are positional. Specifically:
+//
+//   - ModelVersion is the minimum nonzero version across workers — "what
+//     version is the fleet serving" answered pessimistically, so a worker
+//     lagging a snapshot push is visible on the rollup gauge.
+//   - OverloadState is the maximum (most-degraded worker).
+//   - Kernels come from the first snapshot that reports any (workers of
+//     one cluster run the same build; heterogeneous fleets will see the
+//     first worker's report).
+//   - DroppedByTenant entries merge by key across workers and the
+//     merged breakdown is re-ranked to the top TopTenantDrops.
+func Merge(snaps ...Snapshot) Snapshot {
+	var m Snapshot
+	tenants := make(map[uint64]TenantDrops)
+	for _, s := range snaps {
+		m.Packets += s.Packets
+		m.Flows += s.Flows
+		m.Alerts += s.Alerts
+		m.FeedbackOK += s.FeedbackOK
+		m.Suppressed += s.Suppressed
+		m.ShadowFlows += s.ShadowFlows
+		for i := range s.Dropped {
+			m.Dropped[i] += s.Dropped[i]
+		}
+		for i := range s.OverloadTransitions {
+			m.OverloadTransitions[i] += s.OverloadTransitions[i]
+		}
+		if s.OverloadState > m.OverloadState {
+			m.OverloadState = s.OverloadState
+		}
+		if s.ModelVersion != 0 && (m.ModelVersion == 0 || s.ModelVersion < m.ModelVersion) {
+			m.ModelVersion = s.ModelVersion
+		}
+		if m.Classes == nil && len(s.Classes) > 0 {
+			m.Classes = s.Classes
+			m.ByClass = make([]int64, len(s.Classes))
+			m.ShadowDiverged = make([]int64, len(s.Classes))
+		}
+		for i := 0; i < len(s.ByClass) && i < len(m.ByClass); i++ {
+			m.ByClass[i] += s.ByClass[i]
+		}
+		for i := 0; i < len(s.ShadowDiverged) && i < len(m.ShadowDiverged); i++ {
+			m.ShadowDiverged[i] += s.ShadowDiverged[i]
+		}
+		if m.Latency.Bounds == nil {
+			m.Latency.Bounds = LatencyBuckets[:]
+			m.Latency.Counts = make([]int64, NumLatencyBuckets)
+		}
+		for i := 0; i < len(s.Latency.Counts) && i < len(m.Latency.Counts); i++ {
+			m.Latency.Counts[i] += s.Latency.Counts[i]
+		}
+		m.Latency.Sum += s.Latency.Sum
+		m.Latency.Count += s.Latency.Count
+		if m.Kernels == (Kernels{}) {
+			m.Kernels = s.Kernels
+		}
+		m.DroppedByTenantOther += s.DroppedByTenantOther
+		for _, t := range s.DroppedByTenant {
+			e := tenants[t.Key]
+			e.Key, e.Label = t.Key, t.Label
+			e.Dropped += t.Dropped
+			tenants[t.Key] = e
+		}
+	}
+	if len(tenants) > 0 {
+		all := make([]TenantDrops, 0, len(tenants))
+		for _, t := range tenants {
+			all = append(all, t)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dropped != all[j].Dropped {
+				return all[i].Dropped > all[j].Dropped
+			}
+			return all[i].Key < all[j].Key
+		})
+		if len(all) > TopTenantDrops {
+			for _, t := range all[TopTenantDrops:] {
+				m.DroppedByTenantOther += t.Dropped
+			}
+			all = all[:TopTenantDrops]
+		}
+		m.DroppedByTenant = all
+	}
+	return m
 }
