@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,11 +28,22 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("out", "", "output flow-feature CSV path")
 	capture := flag.String("capture", "", "also write the raw packet log (binary capture) to this path (generation only)")
-	replay := flag.String("replay", "", "read packets from a capture file instead of generating, streamed in O(1) memory (replayed flows are unlabeled-benign)")
+	pcapOut := flag.String("pcap", "", "also write the traffic as a classic PCAP (nanosecond Ethernet) to this path (generation only; timestamps round to the nanosecond grid so capture and pcap replay identically)")
+	v6Frac := flag.Float64("v6", 0, "rewrite this fraction of generated flows into an IPv6 site (both endpoints embedded in 2001:db8::/32, deterministic per flow)")
+	vlanID := flag.Int("vlan", 0, "tag every generated packet with this 802.1Q VLAN ID (1-4094)")
+	replay := flag.String("replay", "", "read packets from a capture, PCAP or pcapng file instead of generating — sniffed by magic, streamed in O(1) memory (replayed flows are unlabeled-benign)")
 	mixFlag := flag.String("mix", "", "class mix, e.g. benign=0.8,dos=0.1,portscan=0.1")
 	stats := flag.Bool("stats", false, "print capture statistics")
 	flag.Parse()
 
+	if *v6Frac < 0 || *v6Frac > 1 {
+		fmt.Fprintln(os.Stderr, "nidsgen: -v6 must be a fraction in [0,1]")
+		os.Exit(1)
+	}
+	if *vlanID < 0 || *vlanID > 4094 {
+		fmt.Fprintln(os.Stderr, "nidsgen: -vlan must be a 802.1Q VLAN ID in 1..4094 (0 = untagged)")
+		os.Exit(1)
+	}
 	cfg := traffic.Config{Sessions: *sessions, Seed: *seed}
 	if *mixFlag != "" {
 		mix, err := parseMix(*mixFlag)
@@ -44,15 +57,15 @@ func main() {
 	var nPackets int
 	var lastTime float64
 	if *replay != "" {
-		if *capture != "" {
-			fmt.Fprintln(os.Stderr, "nidsgen: -capture requires generation (replay streams the capture, it does not rewrite it)")
+		if *capture != "" || *pcapOut != "" || *v6Frac > 0 || *vlanID > 0 {
+			fmt.Fprintln(os.Stderr, "nidsgen: -capture, -pcap, -v6 and -vlan require generation (replay streams the file, it does not rewrite it)")
 			os.Exit(1)
 		}
-		// Stream the capture record-by-record — a multi-gigabyte log
+		// Stream the file record-by-record — a multi-gigabyte log
 		// assembles into flows without ever living in memory. Replayed
 		// captures carry no ground truth; every flow is labeled benign so
 		// the feature table is still usable (e.g. for inference runs).
-		cf, err := netflow.OpenCapture(*replay)
+		cf, skipped, err := openReplay(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nidsgen:", err)
 			os.Exit(1)
@@ -66,8 +79,12 @@ func main() {
 			os.Exit(1)
 		}
 		nPackets, lastTime = tap.n, tap.last
+		if n := skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "replay: skipped %d frames outside the decode stack\n", n)
+		}
 	} else {
 		stream := traffic.Generate(cfg)
+		rewriteTraffic(stream.Packets, *v6Frac, uint16(*vlanID), *pcapOut != "")
 		ds = datasets.FromStream("nidsgen", stream, traffic.LabelNames(),
 			func(l traffic.Label) int { return int(l) })
 		nPackets = len(stream.Packets)
@@ -83,6 +100,13 @@ func main() {
 			}
 			fmt.Printf("wrote capture %s: %d packets\n", *capture, nPackets)
 		}
+		if *pcapOut != "" {
+			if err := writePCAPFile(*pcapOut, stream.Packets); err != nil {
+				fmt.Fprintln(os.Stderr, "nidsgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote pcap %s: %d packets\n", *pcapOut, nPackets)
+		}
 	}
 
 	if *stats || *out == "" {
@@ -97,28 +121,121 @@ func main() {
 	}
 }
 
-// writeCapture streams packets to path one record at a time.
+// writeCapture writes packets to path, auto-selecting the v1 record for
+// pure-IPv4 untagged traffic (byte-identical to the pre-v2 format) and
+// the v2 record when any packet carries IPv6 or a VLAN tag.
 func writeCapture(path string, packets []netflow.Packet) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	cw, err := netflow.NewCaptureWriter(f)
-	if err != nil {
-		f.Close()
-		return err
-	}
-	for i := range packets {
-		if err := cw.Write(&packets[i]); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := cw.Close(); err != nil {
+	if err := netflow.WriteCapture(f, packets); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// writePCAPFile writes packets as a classic nanosecond-resolution
+// Ethernet PCAP — the decode stack reads it back bit-identically.
+func writePCAPFile(path string, packets []netflow.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := netflow.WritePCAP(f, packets); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rewriteTraffic applies the generator's address-plane knobs in place:
+// a deterministic per-flow IPv6 rewrite (both endpoints move together so
+// no packet mixes families), an 802.1Q tag, and — when a PCAP is being
+// written — rounding timestamps to the nanosecond grid so the capture
+// and the pcap replay bit-identically.
+func rewriteTraffic(packets []netflow.Packet, v6Frac float64, vlan uint16, forPCAP bool) {
+	threshold := uint64(v6Frac * (1 << 16))
+	for i := range packets {
+		p := &packets[i]
+		if threshold > 0 && flowElect(p.SrcIP, p.DstIP) < threshold {
+			p.SrcIP, p.DstIP = toV6Site(p.SrcIP), toV6Site(p.DstIP)
+			// The IPv4 header (20 B) grows to the fixed IPv6 header (40 B),
+			// in both the header accounting and the on-wire packet size.
+			p.HeaderLen += 20
+			p.Length += 20
+		}
+		if vlan > 0 {
+			p.VLAN = vlan
+		}
+		if forPCAP {
+			p.Time = netflow.RoundToNanos(p.Time)
+		}
+	}
+}
+
+// flowElect hashes the unordered endpoint pair into [0, 1<<16) — the
+// same value for both directions, so every packet of a flow lands on
+// the same side of the -v6 threshold.
+func flowElect(src, dst netflow.Addr) uint64 {
+	a, b := src.V4(), dst.V4()
+	if b < a {
+		a, b = b, a
+	}
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range [...]uint32{a, b} {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= 0x100000001b3
+		}
+	}
+	return h % (1 << 16)
+}
+
+// toV6Site embeds a v4 host in the 2001:db8::/32 documentation site.
+func toV6Site(a netflow.Addr) netflow.Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+	v := a.V4()
+	b[12], b[13], b[14], b[15] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	return netflow.AddrFrom16(b)
+}
+
+// openReplay opens path for streaming replay, sniffing the four-byte
+// magic to pick the reader: the internal binary capture, or classic
+// PCAP / pcapng through the Ethernet/VLAN/IP decode stack. The returned
+// func reports frames the pcap decoder skipped (always zero for
+// captures).
+func openReplay(path string) (interface {
+	netflow.PacketSource
+	Close() error
+}, func() int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr != nil {
+		return nil, nil, fmt.Errorf("%s: too short to carry a capture or pcap magic", path)
+	}
+	// The internal capture leads with 0xCBD0CAF7 little-endian; anything
+	// else goes to the pcap front door, which recognizes classic PCAP in
+	// both endiannesses and pcapng, and rejects the rest by name.
+	if binary.LittleEndian.Uint32(magic[:]) == 0xCBD0CAF7 {
+		cf, err := netflow.OpenCapture(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cf, func() int { return 0 }, nil
+	}
+	pf, err := netflow.OpenPCAP(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pf, pf.Skipped, nil
 }
 
 // tapSource forwards a PacketSource while counting packets and tracking

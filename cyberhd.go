@@ -85,6 +85,11 @@ type (
 	Alert = pipeline.Alert
 	// Packet is a raw packet record for the streaming engine.
 	Packet = netflow.Packet
+	// Addr is a packet endpoint address: 16 bytes, IPv4 stored v4-mapped
+	// (see AddrV4, ParseAddr).
+	Addr = netflow.Addr
+	// FlowKey identifies a bidirectional flow (the canonical 5-tuple).
+	FlowKey = netflow.FlowKey
 	// TrafficConfig parameterizes the synthetic traffic generator.
 	TrafficConfig = traffic.Config
 	// TrafficStream is a generated labeled capture.
@@ -122,6 +127,12 @@ var (
 	SaveCSV = datasets.SaveCSV
 	// GenerateTraffic synthesizes a labeled packet capture.
 	GenerateTraffic = traffic.Generate
+	// AddrV4 builds an Addr from a numeric IPv4 address (v4-mapped).
+	AddrV4 = netflow.AddrV4
+	// ParseAddr parses a textual IPv4 or IPv6 address into an Addr.
+	ParseAddr = netflow.ParseAddr
+	// MustParseAddr is ParseAddr, panicking on error (for literals).
+	MustParseAddr = netflow.MustParseAddr
 )
 
 // NewRBFEncoder builds the paper's RBF random-feature encoder: inDim input

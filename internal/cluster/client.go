@@ -283,6 +283,12 @@ func (c *Client) readLoop(wc *workerConn) {
 				return
 			}
 			c.deliver(&wa)
+		case frameAlert2:
+			if err := decodeAlert2(payload, &wa); err != nil {
+				wc.fail(err)
+				return
+			}
+			c.deliver(&wa)
 		case frameTelemetry:
 			s, settled, err := decodeTelemetry(payload)
 			if err != nil {

@@ -35,7 +35,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	var pktBuf bytes.Buffer
 	pw := newFrameWriter(&pktBuf)
-	p := netflow.Packet{Time: 2.5, SrcIP: 10, DstIP: 20, SrcPort: 80, DstPort: 8080, Proto: netflow.TCP, Length: 900, HeaderLen: 40, Flags: 0x02}
+	p := netflow.Packet{Time: 2.5, SrcIP: netflow.AddrV4(10), DstIP: netflow.AddrV4(20), SrcPort: 80, DstPort: 8080, Proto: netflow.TCP, Length: 900, HeaderLen: 40, Flags: 0x02}
 	if err := pw.writePacket(&p); err != nil {
 		f.Fatal(err)
 	}

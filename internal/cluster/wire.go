@@ -49,15 +49,17 @@ type frameType uint8
 // Wire frame types. Ingest→worker: hello, snapshot, packet, tick, flush,
 // bye. Worker→ingest: ack, alert, telemetry, bye.
 const (
-	frameHello     frameType = 1 // gob helloState: session configuration
-	frameSnapshot  frameType = 2 // v2 model snapshot bytes, verbatim
-	frameAck       frameType = 3 // gob ackState: snapshot/hello outcome
-	framePacket    frameType = 4 // one capture packet record (32 bytes)
-	frameTick      frameType = 5 // capture-clock tick (float64 bits)
-	frameFlush     frameType = 6 // flush all open flows (empty)
-	frameBye       frameType = 7 // end of stream (empty)
-	frameAlert     frameType = 8 // one alert record (fixed binary)
-	frameTelemetry frameType = 9 // settled flag byte + gob telemetry.Snapshot
+	frameHello     frameType = 1  // gob helloState: session configuration
+	frameSnapshot  frameType = 2  // v2 model snapshot bytes, verbatim
+	frameAck       frameType = 3  // gob ackState: snapshot/hello outcome
+	framePacket    frameType = 4  // one v1 capture packet record (32 bytes, IPv4 untagged)
+	frameTick      frameType = 5  // capture-clock tick (float64 bits)
+	frameFlush     frameType = 6  // flush all open flows (empty)
+	frameBye       frameType = 7  // end of stream (empty)
+	frameAlert     frameType = 8  // one v1 alert record (fixed binary, IPv4 flows)
+	frameTelemetry frameType = 9  // settled flag byte + gob telemetry.Snapshot
+	framePacket2   frameType = 10 // one v2 capture packet record (16-byte addrs + VLAN)
+	frameAlert2    frameType = 11 // one v2 alert record (16-byte addresses)
 )
 
 // frameHeaderSize is the fixed frame header: type byte, payload length
@@ -74,7 +76,8 @@ const (
 	maxAckPayload       = 1 << 16
 	maxTelemetryPayload = 1 << 20
 	tickPayloadSize     = 8
-	alertRecordSize     = 8 + 8 + 4 + 4 + 2 + 2 + 1 + 2 + 4 + 2 + 4 + 8 // 49 bytes
+	alertRecordSize     = 8 + 8 + 4 + 4 + 2 + 2 + 1 + 2 + 4 + 2 + 4 + 8    // 49 bytes
+	alertRecordSizeV2   = 8 + 8 + 16 + 16 + 2 + 2 + 1 + 2 + 16 + 2 + 4 + 8 // 85 bytes
 )
 
 // payloadBounds returns the [min, max] payload size of a frame type, or
@@ -97,6 +100,10 @@ func payloadBounds(t frameType) (min, max int, ok bool) {
 		return alertRecordSize, alertRecordSize, true
 	case frameTelemetry:
 		return 1, maxTelemetryPayload, true
+	case framePacket2:
+		return netflow.PacketRecordSizeV2, netflow.PacketRecordSizeV2, true
+	case frameAlert2:
+		return alertRecordSizeV2, alertRecordSizeV2, true
 	}
 	return 0, 0, false
 }
@@ -126,7 +133,7 @@ func readWireMagic(r io.Reader) error {
 type frameWriter struct {
 	w   *bufio.Writer
 	hdr [frameHeaderSize]byte
-	rec [alertRecordSize]byte // scratch for fixed-size frames (≥ packet/tick sizes)
+	rec [alertRecordSizeV2]byte // scratch for fixed-size frames (≥ packet/tick sizes)
 }
 
 func newFrameWriter(w io.Writer) *frameWriter {
@@ -152,10 +159,16 @@ func (fw *frameWriter) writeFrame(t frameType, payload []byte) error {
 
 func (fw *frameWriter) flush() error { return fw.w.Flush() }
 
-// writePacket frames one packet as a capture record.
+// writePacket frames one packet as a capture record: the legacy v1 frame
+// whenever the packet fits it (pure IPv4, untagged — byte-identical to the
+// pre-v2 wire), the v2 frame otherwise.
 func (fw *frameWriter) writePacket(p *netflow.Packet) error {
-	netflow.EncodePacketRecord(fw.rec[:netflow.PacketRecordSize], p)
-	return fw.writeFrame(framePacket, fw.rec[:netflow.PacketRecordSize])
+	if p.EncodableV1() {
+		netflow.EncodePacketRecord(fw.rec[:netflow.PacketRecordSize], p)
+		return fw.writeFrame(framePacket, fw.rec[:netflow.PacketRecordSize])
+	}
+	netflow.EncodePacketRecordV2(fw.rec[:netflow.PacketRecordSizeV2], p)
+	return fw.writeFrame(framePacket2, fw.rec[:netflow.PacketRecordSizeV2])
 }
 
 // writeTick frames one capture-clock tick.
@@ -249,12 +262,21 @@ func (fr *frameReader) readPayload(n int) ([]byte, error) {
 	return buf, nil
 }
 
-// decodePacket decodes a packet frame payload.
+// decodePacket decodes a v1 packet frame payload.
 func decodePacket(payload []byte, p *netflow.Packet) error {
 	if len(payload) != netflow.PacketRecordSize {
 		return fmt.Errorf("cluster: packet frame is %d bytes, want %d", len(payload), netflow.PacketRecordSize)
 	}
 	netflow.DecodePacketRecord(payload, p)
+	return nil
+}
+
+// decodePacket2 decodes a v2 packet frame payload.
+func decodePacket2(payload []byte, p *netflow.Packet) error {
+	if len(payload) != netflow.PacketRecordSizeV2 {
+		return fmt.Errorf("cluster: packet2 frame is %d bytes, want %d", len(payload), netflow.PacketRecordSizeV2)
+	}
+	netflow.DecodePacketRecordV2(payload, p)
 	return nil
 }
 
@@ -371,29 +393,37 @@ type wireAlert struct {
 	FirstTime   float64
 	Key         netflow.FlowKey
 	Class       uint16
-	InitSrcIP   uint32
+	InitSrcIP   netflow.Addr
 	InitSrcPort uint16
 	Packets     uint32 // total packets over both directions
 	Bytes       float64
 }
 
-// encodeAlert renders an alert record into dst[:alertRecordSize].
+// encodableV1 reports whether the alert fits the legacy v1 record: every
+// address IPv4.
+func (a *wireAlert) encodableV1() bool {
+	return a.Key.IPA.Is4() && a.Key.IPB.Is4() && a.InitSrcIP.Is4()
+}
+
+// encodeAlert renders a v1 alert record into dst[:alertRecordSize]. The
+// caller must ensure a.encodableV1(); the layout stores 4-byte addresses
+// and is byte-identical to the pre-v2 wire for IPv4 flows.
 func encodeAlert(dst []byte, a *wireAlert) {
 	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(a.Time))
 	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(a.FirstTime))
-	binary.LittleEndian.PutUint32(dst[16:], a.Key.IPA)
-	binary.LittleEndian.PutUint32(dst[20:], a.Key.IPB)
+	binary.LittleEndian.PutUint32(dst[16:], a.Key.IPA.V4())
+	binary.LittleEndian.PutUint32(dst[20:], a.Key.IPB.V4())
 	binary.LittleEndian.PutUint16(dst[24:], a.Key.PortA)
 	binary.LittleEndian.PutUint16(dst[26:], a.Key.PortB)
 	dst[28] = byte(a.Key.Proto)
 	binary.LittleEndian.PutUint16(dst[29:], a.Class)
-	binary.LittleEndian.PutUint32(dst[31:], a.InitSrcIP)
+	binary.LittleEndian.PutUint32(dst[31:], a.InitSrcIP.V4())
 	binary.LittleEndian.PutUint16(dst[35:], a.InitSrcPort)
 	binary.LittleEndian.PutUint32(dst[37:], a.Packets)
 	binary.LittleEndian.PutUint64(dst[41:], math.Float64bits(a.Bytes))
 }
 
-// decodeAlert parses an alert frame payload.
+// decodeAlert parses a v1 alert frame payload.
 func decodeAlert(payload []byte, a *wireAlert) error {
 	if len(payload) != alertRecordSize {
 		return fmt.Errorf("cluster: alert frame is %d bytes, want %d", len(payload), alertRecordSize)
@@ -402,14 +432,14 @@ func decodeAlert(payload []byte, a *wireAlert) error {
 		Time:      math.Float64frombits(binary.LittleEndian.Uint64(payload[0:])),
 		FirstTime: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
 		Key: netflow.FlowKey{
-			IPA:   binary.LittleEndian.Uint32(payload[16:]),
-			IPB:   binary.LittleEndian.Uint32(payload[20:]),
+			IPA:   netflow.AddrV4(binary.LittleEndian.Uint32(payload[16:])),
+			IPB:   netflow.AddrV4(binary.LittleEndian.Uint32(payload[20:])),
 			PortA: binary.LittleEndian.Uint16(payload[24:]),
 			PortB: binary.LittleEndian.Uint16(payload[26:]),
 			Proto: netflow.Proto(payload[28]),
 		},
 		Class:       binary.LittleEndian.Uint16(payload[29:]),
-		InitSrcIP:   binary.LittleEndian.Uint32(payload[31:]),
+		InitSrcIP:   netflow.AddrV4(binary.LittleEndian.Uint32(payload[31:])),
 		InitSrcPort: binary.LittleEndian.Uint16(payload[35:]),
 		Packets:     binary.LittleEndian.Uint32(payload[37:]),
 		Bytes:       math.Float64frombits(binary.LittleEndian.Uint64(payload[41:])),
@@ -417,10 +447,56 @@ func decodeAlert(payload []byte, a *wireAlert) error {
 	return nil
 }
 
-// writeAlert frames one alert record.
+// encodeAlert2 renders a v2 alert record into dst[:alertRecordSizeV2]:
+// the same field order with full 16-byte addresses.
+func encodeAlert2(dst []byte, a *wireAlert) {
+	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(a.Time))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(a.FirstTime))
+	copy(dst[16:32], a.Key.IPA[:])
+	copy(dst[32:48], a.Key.IPB[:])
+	binary.LittleEndian.PutUint16(dst[48:], a.Key.PortA)
+	binary.LittleEndian.PutUint16(dst[50:], a.Key.PortB)
+	dst[52] = byte(a.Key.Proto)
+	binary.LittleEndian.PutUint16(dst[53:], a.Class)
+	copy(dst[55:71], a.InitSrcIP[:])
+	binary.LittleEndian.PutUint16(dst[71:], a.InitSrcPort)
+	binary.LittleEndian.PutUint32(dst[73:], a.Packets)
+	binary.LittleEndian.PutUint64(dst[77:], math.Float64bits(a.Bytes))
+}
+
+// decodeAlert2 parses a v2 alert frame payload.
+func decodeAlert2(payload []byte, a *wireAlert) error {
+	if len(payload) != alertRecordSizeV2 {
+		return fmt.Errorf("cluster: alert2 frame is %d bytes, want %d", len(payload), alertRecordSizeV2)
+	}
+	*a = wireAlert{
+		Time:      math.Float64frombits(binary.LittleEndian.Uint64(payload[0:])),
+		FirstTime: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Key: netflow.FlowKey{
+			PortA: binary.LittleEndian.Uint16(payload[48:]),
+			PortB: binary.LittleEndian.Uint16(payload[50:]),
+			Proto: netflow.Proto(payload[52]),
+		},
+		Class:       binary.LittleEndian.Uint16(payload[53:]),
+		InitSrcPort: binary.LittleEndian.Uint16(payload[71:]),
+		Packets:     binary.LittleEndian.Uint32(payload[73:]),
+		Bytes:       math.Float64frombits(binary.LittleEndian.Uint64(payload[77:])),
+	}
+	copy(a.Key.IPA[:], payload[16:32])
+	copy(a.Key.IPB[:], payload[32:48])
+	copy(a.InitSrcIP[:], payload[55:71])
+	return nil
+}
+
+// writeAlert frames one alert record, picking the v1 frame for IPv4 flows
+// (byte-identical to the pre-v2 wire) and the v2 frame otherwise.
 func (fw *frameWriter) writeAlert(a *wireAlert) error {
-	encodeAlert(fw.rec[:alertRecordSize], a)
-	return fw.writeFrame(frameAlert, fw.rec[:alertRecordSize])
+	if a.encodableV1() {
+		encodeAlert(fw.rec[:alertRecordSize], a)
+		return fw.writeFrame(frameAlert, fw.rec[:alertRecordSize])
+	}
+	encodeAlert2(fw.rec[:alertRecordSizeV2], a)
+	return fw.writeFrame(frameAlert2, fw.rec[:alertRecordSizeV2])
 }
 
 // encodeTelemetry renders a telemetry frame payload: one settled-flag

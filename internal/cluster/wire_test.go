@@ -150,7 +150,7 @@ func TestAckRoundTrip(t *testing.T) {
 func TestPacketFrameRoundTrip(t *testing.T) {
 	want := netflow.Packet{
 		Time:  123.456789,
-		SrcIP: 0x0a000001, DstIP: 0xc0a80102,
+		SrcIP: netflow.AddrV4(0x0a000001), DstIP: netflow.AddrV4(0xc0a80102),
 		SrcPort: 443, DstPort: 51515,
 		Proto: netflow.TCP, Length: 1500, HeaderLen: 40,
 		Flags: 0x18,
@@ -176,6 +176,88 @@ func TestPacketFrameRoundTrip(t *testing.T) {
 	}
 	if err := decodePacket(payload[:10], &got); err == nil {
 		t.Fatal("decodePacket accepted short payload")
+	}
+}
+
+func TestPacketFrameV2RoundTrip(t *testing.T) {
+	// A v6 or VLAN-tagged packet rides the v2 frame; a pure-v4 untagged
+	// one must keep the v1 frame byte-identically.
+	want := netflow.Packet{
+		Time:  123.456789,
+		SrcIP: netflow.MustParseAddr("2001:db8::1"), DstIP: netflow.MustParseAddr("2001:db8::2"),
+		SrcPort: 443, DstPort: 51515,
+		Proto: netflow.TCP, Length: 1500, HeaderLen: 60,
+		Flags: 0x18, WindowSize: 4096, VLAN: 42,
+	}
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writePacket(&want); err != nil {
+		t.Fatalf("writePacket: %v", err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	ft, payload, err := readOne(t, buf.Bytes())
+	if err != nil || ft != framePacket2 {
+		t.Fatalf("next: type %d err %v", ft, err)
+	}
+	var got netflow.Packet
+	if err := decodePacket2(payload, &got); err != nil {
+		t.Fatalf("decodePacket2: %v", err)
+	}
+	if got != want {
+		t.Fatalf("packet v2 round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := decodePacket2(payload[:10], &got); err == nil {
+		t.Fatal("decodePacket2 accepted short payload")
+	}
+
+	v4 := netflow.Packet{SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), Proto: netflow.UDP}
+	buf.Reset()
+	fw = newFrameWriter(&buf)
+	if err := fw.writePacket(&v4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, _ := readOne(t, buf.Bytes()); ft != framePacket {
+		t.Fatalf("pure-v4 packet rode frame type %d, want the v1 frame", ft)
+	}
+}
+
+func TestAlertFrameV2RoundTrip(t *testing.T) {
+	want := wireAlert{
+		Time: 98.76, FirstTime: 12.34,
+		Key: netflow.FlowKey{
+			IPA: netflow.MustParseAddr("2001:db8::1"), IPB: netflow.MustParseAddr("2001:db8::9"),
+			PortA: 80, PortB: 40000, Proto: netflow.TCP,
+		},
+		Class:     3,
+		InitSrcIP: netflow.MustParseAddr("2001:db8::9"), InitSrcPort: 40000,
+		Packets: 917, Bytes: 123456.5,
+	}
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writeAlert(&want); err != nil {
+		t.Fatalf("writeAlert: %v", err)
+	}
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	ft, payload, err := readOne(t, buf.Bytes())
+	if err != nil || ft != frameAlert2 {
+		t.Fatalf("next: type %d err %v", ft, err)
+	}
+	var got wireAlert
+	if err := decodeAlert2(payload, &got); err != nil {
+		t.Fatalf("decodeAlert2: %v", err)
+	}
+	if got != want {
+		t.Fatalf("alert v2 round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := decodeAlert2(payload[:20], &got); err == nil {
+		t.Fatal("decodeAlert2 accepted short payload")
 	}
 }
 
@@ -207,11 +289,11 @@ func TestAlertFrameRoundTrip(t *testing.T) {
 	want := wireAlert{
 		Time: 98.76, FirstTime: 12.34,
 		Key: netflow.FlowKey{
-			IPA: 0x0a000001, IPB: 0x0a000002,
+			IPA: netflow.AddrV4(0x0a000001), IPB: netflow.AddrV4(0x0a000002),
 			PortA: 80, PortB: 40000, Proto: netflow.TCP,
 		},
 		Class:     3,
-		InitSrcIP: 0x0a000002, InitSrcPort: 40000,
+		InitSrcIP: netflow.AddrV4(0x0a000002), InitSrcPort: 40000,
 		Packets: 917, Bytes: 123456.5,
 	}
 	var buf bytes.Buffer
@@ -390,7 +472,7 @@ func TestFrameWriterRejectsOutOfBounds(t *testing.T) {
 func TestFrameSequence(t *testing.T) {
 	var buf bytes.Buffer
 	fw := newFrameWriter(&buf)
-	p := netflow.Packet{Time: 1.5, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: netflow.UDP, Length: 100, HeaderLen: 28}
+	p := netflow.Packet{Time: 1.5, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 3, DstPort: 4, Proto: netflow.UDP, Length: 100, HeaderLen: 28}
 	if err := fw.writePacket(&p); err != nil {
 		t.Fatal(err)
 	}

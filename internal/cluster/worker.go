@@ -273,6 +273,11 @@ func (w *Worker) serveConn(conn net.Conn) error {
 				return err
 			}
 			eng.Feed(p)
+		case framePacket2:
+			if err := decodePacket2(payload, &p); err != nil {
+				return err
+			}
+			eng.Feed(p)
 		case frameTick:
 			now, err := decodeTick(payload)
 			if err != nil {

@@ -1,0 +1,110 @@
+package netflow
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Addr is a 16-byte IP address in network byte order. IPv4 addresses are
+// stored v4-mapped (::ffff:a.b.c.d, bytes 10–11 = 0xff), so one fixed-width
+// type carries both families while every v4-only invariant — numeric
+// ordering, the 4-byte hash mix, the /prefix tenant key, the 32-bit capture
+// and wire encodings — stays byte-identical to the old uint32
+// representation. The zero Addr is treated as the unspecified IPv4 address
+// 0.0.0.0 (the zero value of the old representation).
+type Addr [16]byte
+
+// AddrV4 returns the v4-mapped Addr of an IPv4 address packed as a
+// big-endian uint32 (the old address representation).
+func AddrV4(ip uint32) Addr {
+	var a Addr
+	a[10], a[11] = 0xff, 0xff
+	a[12] = byte(ip >> 24)
+	a[13] = byte(ip >> 16)
+	a[14] = byte(ip >> 8)
+	a[15] = byte(ip)
+	return a
+}
+
+// IPv4 packs four octets into the v4-mapped address representation.
+func IPv4(a, b, c, d byte) Addr {
+	return AddrV4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// AddrFrom16 returns the Addr with the given 16-byte value. A v4-mapped
+// input represents an IPv4 address; anything else is IPv6.
+func AddrFrom16(b [16]byte) Addr { return Addr(b) }
+
+// ParseAddr parses an address string ("10.0.0.1", "2001:db8::1") into an
+// Addr, mapping IPv4 inputs to their v4-mapped form.
+func ParseAddr(s string) (Addr, error) {
+	ip, err := netip.ParseAddr(s)
+	if err != nil {
+		return Addr{}, fmt.Errorf("netflow: parse address %q: %w", s, err)
+	}
+	if ip.Is4() {
+		b4 := ip.As4()
+		return IPv4(b4[0], b4[1], b4[2], b4[3]), nil
+	}
+	return Addr(ip.As16()), nil
+}
+
+// MustParseAddr is ParseAddr panicking on error, for constants and tests.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Is4 reports whether the address is IPv4 (v4-mapped), including the zero
+// Addr, which stands for the unspecified IPv4 0.0.0.0.
+func (a Addr) Is4() bool {
+	if a == (Addr{}) {
+		return true
+	}
+	for i := 0; i < 10; i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return a[10] == 0xff && a[11] == 0xff
+}
+
+// V4 returns the IPv4 address as a big-endian uint32 (the old
+// representation). Only meaningful when Is4 is true; for IPv6 it returns
+// the low 4 bytes.
+func (a Addr) V4() uint32 {
+	return uint32(a[12])<<24 | uint32(a[13])<<16 | uint32(a[14])<<8 | uint32(a[15])
+}
+
+// As16 returns the raw 16-byte value.
+func (a Addr) As16() [16]byte { return a }
+
+// Compare orders addresses byte-lexicographically: -1 if a < o, 0 if
+// equal, +1 if a > o. For two v4-mapped addresses this equals numeric
+// uint32 order, preserving the old canonical-key orientation.
+func (a Addr) Compare(o Addr) int {
+	for i := 0; i < 16; i++ {
+		switch {
+		case a[i] < o[i]:
+			return -1
+		case a[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports a.Compare(o) < 0.
+func (a Addr) Less(o Addr) bool { return a.Compare(o) < 0 }
+
+// String renders the conventional form: dotted-quad for IPv4 (v4-mapped
+// unwrapped), RFC 5952 for IPv6.
+func (a Addr) String() string {
+	if a == (Addr{}) {
+		return "0.0.0.0"
+	}
+	return netip.AddrFrom16(a).Unmap().String()
+}

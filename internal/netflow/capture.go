@@ -15,9 +15,11 @@ import (
 // records, no compression, fully deterministic.
 
 const (
-	captureMagic     = uint32(0xCBD0CAF7)
-	captureVersion   = uint32(1)
-	packetRecordSize = 8 + 4 + 4 + 2 + 2 + 1 + 4 + 4 + 1 + 2 // 32 bytes
+	captureMagic       = uint32(0xCBD0CAF7)
+	captureVersion     = uint32(1)
+	captureVersion2    = uint32(2)
+	packetRecordSize   = 8 + 4 + 4 + 2 + 2 + 1 + 4 + 4 + 1 + 2           // 32 bytes
+	packetRecordSizeV2 = 8 + 16 + 16 + 2 + 2 + 1 + 4 + 4 + 1 + 2 + 2 + 2 // 60 bytes
 
 	// captureCountStreaming is the header count sentinel written by
 	// CaptureWriter when the record count is not known upfront and the
@@ -26,18 +28,26 @@ const (
 	captureCountStreaming = ^uint32(0)
 )
 
-// PacketRecordSize is the fixed encoded size of one capture packet record
-// in bytes. The cluster wire protocol reuses the record encoding verbatim
-// as its packet-frame payload.
+// PacketRecordSize is the fixed encoded size of one v1 capture packet
+// record in bytes. The cluster wire protocol reuses the record encoding
+// verbatim as its packet-frame payload. v1 records carry IPv4 untagged
+// packets only; see PacketRecordSizeV2 for the general record.
 const PacketRecordSize = packetRecordSize
 
+// PacketRecordSizeV2 is the fixed encoded size of one v2 capture packet
+// record in bytes: 16-byte addresses (IPv4 v4-mapped) plus the VLAN tag.
+const PacketRecordSizeV2 = packetRecordSizeV2
+
 // EncodePacketRecord encodes p into dst, which must hold at least
-// PacketRecordSize bytes. The layout is the capture record format:
-// fixed-width little-endian fields, fully deterministic.
+// PacketRecordSize bytes. The layout is the v1 capture record format:
+// fixed-width little-endian fields, fully deterministic. The caller must
+// ensure p.EncodableV1() — v1 records store 4-byte addresses and no VLAN,
+// so a v6 or VLAN-tagged packet would be silently mangled here; use
+// EncodePacketRecordV2 for those.
 func EncodePacketRecord(dst []byte, p *Packet) {
 	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(p.Time))
-	binary.LittleEndian.PutUint32(dst[8:], p.SrcIP)
-	binary.LittleEndian.PutUint32(dst[12:], p.DstIP)
+	binary.LittleEndian.PutUint32(dst[8:], p.SrcIP.V4())
+	binary.LittleEndian.PutUint32(dst[12:], p.DstIP.V4())
 	binary.LittleEndian.PutUint16(dst[16:], p.SrcPort)
 	binary.LittleEndian.PutUint16(dst[18:], p.DstPort)
 	dst[20] = byte(p.Proto)
@@ -47,14 +57,14 @@ func EncodePacketRecord(dst []byte, p *Packet) {
 	binary.LittleEndian.PutUint16(dst[30:], p.WindowSize)
 }
 
-// DecodePacketRecord decodes one capture packet record from src, which
+// DecodePacketRecord decodes one v1 capture packet record from src, which
 // must hold at least PacketRecordSize bytes, into *p. The inverse of
 // EncodePacketRecord; every record round-trips bit-identically.
 func DecodePacketRecord(src []byte, p *Packet) {
 	*p = Packet{
 		Time:       math.Float64frombits(binary.LittleEndian.Uint64(src[0:])),
-		SrcIP:      binary.LittleEndian.Uint32(src[8:]),
-		DstIP:      binary.LittleEndian.Uint32(src[12:]),
+		SrcIP:      AddrV4(binary.LittleEndian.Uint32(src[8:])),
+		DstIP:      AddrV4(binary.LittleEndian.Uint32(src[12:])),
 		SrcPort:    binary.LittleEndian.Uint16(src[16:]),
 		DstPort:    binary.LittleEndian.Uint16(src[18:]),
 		Proto:      Proto(src[20]),
@@ -65,21 +75,78 @@ func DecodePacketRecord(src []byte, p *Packet) {
 	}
 }
 
+// EncodePacketRecordV2 encodes p into dst, which must hold at least
+// PacketRecordSizeV2 bytes: the v2 capture record — full 16-byte
+// addresses (IPv4 v4-mapped) and the 802.1Q VLAN tag. Fixed-width
+// little-endian fields, fully deterministic, any packet.
+func EncodePacketRecordV2(dst []byte, p *Packet) {
+	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(p.Time))
+	copy(dst[8:24], p.SrcIP[:])
+	copy(dst[24:40], p.DstIP[:])
+	binary.LittleEndian.PutUint16(dst[40:], p.SrcPort)
+	binary.LittleEndian.PutUint16(dst[42:], p.DstPort)
+	dst[44] = byte(p.Proto)
+	binary.LittleEndian.PutUint32(dst[45:], uint32(p.Length))
+	binary.LittleEndian.PutUint32(dst[49:], uint32(p.HeaderLen))
+	dst[53] = p.Flags
+	binary.LittleEndian.PutUint16(dst[54:], p.WindowSize)
+	binary.LittleEndian.PutUint16(dst[56:], p.VLAN)
+	dst[58], dst[59] = 0, 0 // reserved
+}
+
+// DecodePacketRecordV2 decodes one v2 capture packet record from src,
+// which must hold at least PacketRecordSizeV2 bytes, into *p. The inverse
+// of EncodePacketRecordV2; every record round-trips bit-identically.
+func DecodePacketRecordV2(src []byte, p *Packet) {
+	*p = Packet{
+		Time:       math.Float64frombits(binary.LittleEndian.Uint64(src[0:])),
+		SrcPort:    binary.LittleEndian.Uint16(src[40:]),
+		DstPort:    binary.LittleEndian.Uint16(src[42:]),
+		Proto:      Proto(src[44]),
+		Length:     int(binary.LittleEndian.Uint32(src[45:])),
+		HeaderLen:  int(binary.LittleEndian.Uint32(src[49:])),
+		Flags:      src[53],
+		WindowSize: binary.LittleEndian.Uint16(src[54:]),
+		VLAN:       binary.LittleEndian.Uint16(src[56:]),
+	}
+	copy(p.SrcIP[:], src[8:24])
+	copy(p.DstIP[:], src[24:40])
+}
+
 // WriteCapture serializes packets to w. The slice form of CaptureWriter —
 // use the writer directly when packets stream from a source too large to
 // hold in memory.
+//
+// The capture version is chosen automatically: when every packet fits the
+// legacy 32-byte record (pure IPv4, untagged), the output is a v1 capture
+// byte-identical to what this function always wrote; any v6 or
+// VLAN-tagged packet switches the whole capture to v2 records.
 func WriteCapture(w io.Writer, packets []Packet) error {
+	version := captureVersion
+	for i := range packets {
+		if !packets[i].EncodableV1() {
+			version = captureVersion2
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], captureMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], captureVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(packets)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var rec [packetRecordSize]byte
+	var rec [packetRecordSizeV2]byte
 	for i := range packets {
-		EncodePacketRecord(rec[:], &packets[i])
+		if version == captureVersion {
+			EncodePacketRecord(rec[:packetRecordSize], &packets[i])
+			if _, err := bw.Write(rec[:packetRecordSize]); err != nil {
+				return err
+			}
+			continue
+		}
+		EncodePacketRecordV2(rec[:], &packets[i])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -97,22 +164,36 @@ func WriteCapture(w io.Writer, packets []Packet) error {
 // same packets. Otherwise the header carries a streaming sentinel and
 // readers count records until EOF; CaptureScanner understands both forms.
 type CaptureWriter struct {
-	bw     *bufio.Writer
-	seeker io.WriteSeeker // non-nil when the header count is patchable
-	n      uint32
-	closed bool
-	rec    [packetRecordSize]byte
+	bw      *bufio.Writer
+	seeker  io.WriteSeeker // non-nil when the header count is patchable
+	n       uint32
+	closed  bool
+	version uint32
+	rec     [packetRecordSizeV2]byte
 }
 
-// NewCaptureWriter writes a capture header to w and returns a writer
+// NewCaptureWriter writes a v1 capture header to w and returns a writer
 // positioned for the first record. See CaptureWriter for how the record
-// count in the header is resolved at Close.
+// count in the header is resolved at Close. The v1 record holds IPv4
+// untagged packets only; Write rejects anything else (the version is in
+// the already-written header, so the writer cannot upgrade mid-stream) —
+// use NewCaptureWriterV2 when the stream may contain v6 or VLAN packets.
 func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
-	cw := &CaptureWriter{bw: bufio.NewWriter(w)}
+	return newCaptureWriter(w, captureVersion)
+}
+
+// NewCaptureWriterV2 is NewCaptureWriter emitting the v2 capture format:
+// 16-byte addresses and VLAN tags, accepting any packet.
+func NewCaptureWriterV2(w io.Writer) (*CaptureWriter, error) {
+	return newCaptureWriter(w, captureVersion2)
+}
+
+func newCaptureWriter(w io.Writer, version uint32) (*CaptureWriter, error) {
+	cw := &CaptureWriter{bw: bufio.NewWriter(w), version: version}
 	cw.seeker, _ = w.(io.WriteSeeker)
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], captureMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], captureVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	binary.LittleEndian.PutUint32(hdr[8:], captureCountStreaming)
 	if _, err := cw.bw.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("netflow: capture header: %w", err)
@@ -120,7 +201,8 @@ func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
 	return cw, nil
 }
 
-// Write appends one packet record. Returns an error after Close.
+// Write appends one packet record. Returns an error after Close, or when
+// a v1 writer is handed a packet only the v2 record can carry.
 func (cw *CaptureWriter) Write(p *Packet) error {
 	if cw.closed {
 		return fmt.Errorf("netflow: CaptureWriter: write after Close")
@@ -128,9 +210,19 @@ func (cw *CaptureWriter) Write(p *Packet) error {
 	if cw.n == captureCountStreaming-1 {
 		return fmt.Errorf("netflow: CaptureWriter: capture full (%d records)", cw.n)
 	}
-	EncodePacketRecord(cw.rec[:], p)
-	if _, err := cw.bw.Write(cw.rec[:]); err != nil {
-		return err
+	if cw.version == captureVersion {
+		if !p.EncodableV1() {
+			return fmt.Errorf("netflow: CaptureWriter: packet needs the v2 record (IPv6 or VLAN); use NewCaptureWriterV2")
+		}
+		EncodePacketRecord(cw.rec[:packetRecordSize], p)
+		if _, err := cw.bw.Write(cw.rec[:packetRecordSize]); err != nil {
+			return err
+		}
+	} else {
+		EncodePacketRecordV2(cw.rec[:], p)
+		if _, err := cw.bw.Write(cw.rec[:]); err != nil {
+			return err
+		}
 	}
 	cw.n++
 	return nil
@@ -181,13 +273,15 @@ type CaptureScanner struct {
 	br        *bufio.Reader
 	left      uint32
 	streaming bool // sentinel count: records run until EOF
+	version   uint32
 	// rec is the reused record buffer — a local would escape through the
 	// io.ReadFull interface call and cost one allocation per packet.
-	rec [packetRecordSize]byte
+	rec [packetRecordSizeV2]byte
 }
 
 // NewCaptureScanner validates the capture header of r and returns a
-// scanner positioned at the first record.
+// scanner positioned at the first record. Both capture versions load: v1
+// (32-byte IPv4 records) and v2 (16-byte addresses + VLAN).
 func NewCaptureScanner(r io.Reader) (*CaptureScanner, error) {
 	br := bufio.NewReader(r)
 	var hdr [12]byte
@@ -197,14 +291,15 @@ func NewCaptureScanner(r io.Reader) (*CaptureScanner, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != captureMagic {
 		return nil, fmt.Errorf("netflow: not a capture file")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != captureVersion {
+	v := binary.LittleEndian.Uint32(hdr[4:])
+	if v != captureVersion && v != captureVersion2 {
 		return nil, fmt.Errorf("netflow: unsupported capture version %d", v)
 	}
 	count := binary.LittleEndian.Uint32(hdr[8:])
 	if count == captureCountStreaming {
-		return &CaptureScanner{br: br, streaming: true}, nil
+		return &CaptureScanner{br: br, streaming: true, version: v}, nil
 	}
-	return &CaptureScanner{br: br, left: count}, nil
+	return &CaptureScanner{br: br, left: count, version: v}, nil
 }
 
 // Remaining returns how many records have not been read yet, or -1 for a
@@ -222,7 +317,10 @@ func (s *CaptureScanner) Next(p *Packet) error {
 	if !s.streaming && s.left == 0 {
 		return io.EOF
 	}
-	rec := s.rec[:]
+	rec := s.rec[:packetRecordSize]
+	if s.version == captureVersion2 {
+		rec = s.rec[:packetRecordSizeV2]
+	}
 	if _, err := io.ReadFull(s.br, rec); err != nil {
 		if err == io.EOF {
 			if s.streaming {
@@ -239,7 +337,11 @@ func (s *CaptureScanner) Next(p *Packet) error {
 	if !s.streaming {
 		s.left--
 	}
-	DecodePacketRecord(rec, p)
+	if s.version == captureVersion2 {
+		DecodePacketRecordV2(rec, p)
+	} else {
+		DecodePacketRecord(rec, p)
+	}
 	return nil
 }
 

@@ -6,7 +6,7 @@ package netflow
 type Flow struct {
 	Key FlowKey
 	// InitSrcIP/InitSrcPort identify the initiator (first packet source).
-	InitSrcIP   uint32
+	InitSrcIP   Addr
 	InitSrcPort uint16
 
 	FirstTime, LastTime float64

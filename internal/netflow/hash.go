@@ -6,13 +6,33 @@ const (
 	fnvPrime64  = 0x100000001b3
 )
 
+// mixAddr folds an address into an FNV-1a state. IPv4 addresses mix
+// exactly the 4 mapped bytes, least-significant first — the byte stream
+// the old uint32 representation produced — so every existing IPv4 hash,
+// `Hash % N` shard assignment, and cluster partition is byte-identical.
+// IPv6 addresses mix all 16 bytes in the same low-to-high order.
+func mixAddr(h uint64, a Addr) uint64 {
+	lo := 0
+	if a.Is4() {
+		lo = 12
+	}
+	for i := 15; i >= lo; i-- {
+		h ^= uint64(a[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Hash returns a 64-bit FNV-1a hash of the canonical bidirectional
 // 5-tuple. Both directions of a flow map to the same FlowKey (see KeyOf)
 // and therefore to the same hash, which is what makes the hash usable as
 // a shard key: every packet of a flow lands on the same shard, so flow
-// assembly never splits across workers.
+// assembly never splits across workers. IPv4 keys hash exactly as they
+// did when addresses were uint32 (see mixAddr).
 func (k FlowKey) Hash() uint64 {
 	h := uint64(fnvOffset64)
+	h = mixAddr(h, k.IPA)
+	h = mixAddr(h, k.IPB)
 	mix := func(v uint64, bytes int) {
 		for i := 0; i < bytes; i++ {
 			h ^= v & 0xff
@@ -20,8 +40,6 @@ func (k FlowKey) Hash() uint64 {
 			v >>= 8
 		}
 	}
-	mix(uint64(k.IPA), 4)
-	mix(uint64(k.IPB), 4)
 	mix(uint64(k.PortA), 2)
 	mix(uint64(k.PortB), 2)
 	mix(uint64(k.Proto), 1)
@@ -31,11 +49,13 @@ func (k FlowKey) Hash() uint64 {
 // less is a total order over flow keys, used as the deterministic
 // tie-break when ordering evictions with identical first-packet times.
 func (k FlowKey) less(o FlowKey) bool {
+	if c := k.IPA.Compare(o.IPA); c != 0 {
+		return c < 0
+	}
+	if c := k.IPB.Compare(o.IPB); c != 0 {
+		return c < 0
+	}
 	switch {
-	case k.IPA != o.IPA:
-		return k.IPA < o.IPA
-	case k.IPB != o.IPB:
-		return k.IPB < o.IPB
 	case k.PortA != o.PortA:
 		return k.PortA < o.PortA
 	case k.PortB != o.PortB:
@@ -53,22 +73,70 @@ func (p *Packet) ShardKey() uint64 {
 	return k.Hash()
 }
 
-// Tenant returns the admission-fairness key of the flow: the /bits IPv4
-// prefix of the canonical key's IPA (the numerically smaller endpoint
-// address), so both directions of a flow always bill the same tenant
-// and one subnet's token bucket never charges another's. bits outside
-// (0, 32) keys per exact address.
+// Tenant returns the admission-fairness key of the flow: the /bits prefix
+// of the canonical key's IPA (the byte-wise smaller endpoint address), so
+// both directions of a flow always bill the same tenant and one subnet's
+// token bucket never charges another's.
+//
+// IPv4 keys are unchanged from the uint32 era: the numeric /bits prefix,
+// with bits outside (0, 32) keying per exact address; results are always
+// < 2^32. IPv6 prefixes can't fit a uint64 directly, so the key is an
+// FNV-1a hash of the masked /bits prefix (bits clamped to (0, 128],
+// default exact /128) with bit 63 forced set — disjoint from every
+// possible IPv4 key.
 func (k FlowKey) Tenant(bits int) uint64 {
-	if bits <= 0 || bits >= 32 {
-		return uint64(k.IPA)
+	if k.IPA.Is4() {
+		ip := k.IPA.V4()
+		if bits <= 0 || bits >= 32 {
+			return uint64(ip)
+		}
+		return uint64(ip >> (32 - bits))
 	}
-	return uint64(k.IPA >> (32 - bits))
+	if bits <= 0 || bits > 128 {
+		bits = 128
+	}
+	h := uint64(fnvOffset64)
+	full, rem := bits/8, bits%8
+	for i := 0; i < 16; i++ {
+		b := k.IPA[i]
+		switch {
+		case i < full:
+			// Whole byte inside the prefix: keep.
+		case i == full && rem > 0:
+			b &= 0xff << (8 - rem)
+		default:
+			b = 0
+		}
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	h ^= uint64(bits)
+	h *= fnvPrime64
+	return h | 1<<63
+}
+
+// TenantPrefix is Tenant with per-family prefix widths: bits4 applies to
+// IPv4 keys, bits6 to IPv6. The overload gate's default billing key is
+// TenantPrefix(24, 48) — /24 subnets for v4, /48 sites for v6.
+func (k FlowKey) TenantPrefix(bits4, bits6 int) uint64 {
+	if k.IPA.Is4() {
+		return k.Tenant(bits4)
+	}
+	return k.Tenant(bits6)
 }
 
 // TenantKey returns the per-tenant admission key of p's bidirectional
 // flow — Tenant(bits) of the canonical FlowKey, identical for both
-// directions (the default key of the overload gate's token buckets).
+// directions (the single-width form of the overload gate's token-bucket
+// key).
 func (p *Packet) TenantKey(bits int) uint64 {
 	k, _ := KeyOf(p)
 	return k.Tenant(bits)
+}
+
+// TenantPrefixKey is TenantKey with per-family prefix widths (see
+// FlowKey.TenantPrefix).
+func (p *Packet) TenantPrefixKey(bits4, bits6 int) uint64 {
+	k, _ := KeyOf(p)
+	return k.TenantPrefix(bits4, bits6)
 }

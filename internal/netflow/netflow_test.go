@@ -74,8 +74,18 @@ func TestKeyOfBidirectional(t *testing.T) {
 }
 
 func TestIPv4(t *testing.T) {
-	if IPv4(192, 168, 1, 10) != 0xc0a8010a {
-		t.Fatalf("IPv4 = %x", IPv4(192, 168, 1, 10))
+	a := IPv4(192, 168, 1, 10)
+	if a.V4() != 0xc0a8010a {
+		t.Fatalf("IPv4.V4 = %x", a.V4())
+	}
+	if !a.Is4() {
+		t.Fatal("IPv4 address not recognized as v4-mapped")
+	}
+	if a != AddrV4(0xc0a8010a) {
+		t.Fatal("IPv4 and AddrV4 disagree")
+	}
+	if a.String() != "192.168.1.10" {
+		t.Fatalf("String = %q", a.String())
 	}
 }
 
@@ -152,8 +162,8 @@ func TestAssemblerRSTTerminates(t *testing.T) {
 func TestAssemblerIdleTimeout(t *testing.T) {
 	var flows []*Flow
 	a := NewAssembler(10, 1, func(f *Flow) { flows = append(flows, f) })
-	p1 := &Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
-	p2 := &Packet{Time: 100, SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
+	p1 := &Packet{Time: 0, SrcIP: AddrV4(1), DstIP: AddrV4(2), SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
+	p2 := &Packet{Time: 100, SrcIP: AddrV4(1), DstIP: AddrV4(2), SrcPort: 1000, DstPort: 53, Proto: UDP, Length: 80, HeaderLen: 28}
 	a.Add(p1)
 	a.Add(p2) // 100 s later: p1's flow evicts, p2 starts a new one
 	if len(flows) != 1 {
@@ -171,8 +181,8 @@ func TestAssemblerIdleTimeout(t *testing.T) {
 func TestEvictIdle(t *testing.T) {
 	evicted := 0
 	a := NewAssembler(10, 1, func(*Flow) { evicted++ })
-	a.Add(&Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 2, Proto: UDP, Length: 50, HeaderLen: 28})
-	a.Add(&Packet{Time: 5, SrcIP: 3, DstIP: 4, SrcPort: 3, DstPort: 4, Proto: UDP, Length: 50, HeaderLen: 28})
+	a.Add(&Packet{Time: 0, SrcIP: AddrV4(1), DstIP: AddrV4(2), SrcPort: 1, DstPort: 2, Proto: UDP, Length: 50, HeaderLen: 28})
+	a.Add(&Packet{Time: 5, SrcIP: AddrV4(3), DstIP: AddrV4(4), SrcPort: 3, DstPort: 4, Proto: UDP, Length: 50, HeaderLen: 28})
 	a.EvictIdle(12) // first flow idle 12 s > 10, second only 7 s
 	if evicted != 1 || a.Active() != 1 {
 		t.Fatalf("evicted=%d active=%d", evicted, a.Active())
@@ -259,7 +269,7 @@ func TestFeatureSemantics(t *testing.T) {
 func TestSinglePacketFlowFeaturesFinite(t *testing.T) {
 	var flows []*Flow
 	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
-	a.Add(&Packet{Time: 1, SrcIP: 9, DstIP: 8, SrcPort: 5, DstPort: 53, Proto: UDP, Length: 64, HeaderLen: 28})
+	a.Add(&Packet{Time: 1, SrcIP: AddrV4(9), DstIP: AddrV4(8), SrcPort: 5, DstPort: 53, Proto: UDP, Length: 64, HeaderLen: 28})
 	a.Flush()
 	v := flows[0].Features()
 	for i, x := range v {
@@ -273,7 +283,7 @@ func TestActivityPeriods(t *testing.T) {
 	var flows []*Flow
 	a := NewAssembler(120, 1, func(f *Flow) { flows = append(flows, f) })
 	mk := func(ts float64) *Packet {
-		return &Packet{Time: ts, SrcIP: 1, DstIP: 2, SrcPort: 7, DstPort: 9, Proto: UDP, Length: 100, HeaderLen: 28}
+		return &Packet{Time: ts, SrcIP: AddrV4(1), DstIP: AddrV4(2), SrcPort: 7, DstPort: 9, Proto: UDP, Length: 100, HeaderLen: 28}
 	}
 	// Two bursts separated by a 5 s gap (> 1 s activity gap).
 	for _, ts := range []float64{0, 0.1, 0.2, 5.2, 5.3} {
@@ -327,14 +337,14 @@ func TestFlowKeyHashDistribution(t *testing.T) {
 
 // TestFlowKeyHashDistinguishesTuples: tuple fields must all contribute.
 func TestFlowKeyHashDistinguishesTuples(t *testing.T) {
-	base := FlowKey{IPA: 1, IPB: 2, PortA: 3, PortB: 4, Proto: TCP}
+	base := FlowKey{IPA: AddrV4(1), IPB: AddrV4(2), PortA: 3, PortB: 4, Proto: TCP}
 	seen := map[uint64]string{base.Hash(): "base"}
 	for name, k := range map[string]FlowKey{
-		"ipa":   {IPA: 9, IPB: 2, PortA: 3, PortB: 4, Proto: TCP},
-		"ipb":   {IPA: 1, IPB: 9, PortA: 3, PortB: 4, Proto: TCP},
-		"porta": {IPA: 1, IPB: 2, PortA: 9, PortB: 4, Proto: TCP},
-		"portb": {IPA: 1, IPB: 2, PortA: 3, PortB: 9, Proto: TCP},
-		"proto": {IPA: 1, IPB: 2, PortA: 3, PortB: 4, Proto: UDP},
+		"ipa":   {IPA: AddrV4(9), IPB: AddrV4(2), PortA: 3, PortB: 4, Proto: TCP},
+		"ipb":   {IPA: AddrV4(1), IPB: AddrV4(9), PortA: 3, PortB: 4, Proto: TCP},
+		"porta": {IPA: AddrV4(1), IPB: AddrV4(2), PortA: 9, PortB: 4, Proto: TCP},
+		"portb": {IPA: AddrV4(1), IPB: AddrV4(2), PortA: 3, PortB: 9, Proto: TCP},
+		"proto": {IPA: AddrV4(1), IPB: AddrV4(2), PortA: 3, PortB: 4, Proto: UDP},
 	} {
 		h := k.Hash()
 		if prev, dup := seen[h]; dup {
@@ -386,8 +396,8 @@ func TestFlushOrderDeterministic(t *testing.T) {
 // key: both directions of a flow bill the same tenant, and the tenant
 // is the /bits prefix of the canonical key's lower endpoint.
 func TestTenantKeyDirectionInvariant(t *testing.T) {
-	fwd := &Packet{SrcIP: 0x0A000102, DstIP: 0x0B010203, SrcPort: 443, DstPort: 51000, Proto: TCP}
-	bwd := &Packet{SrcIP: 0x0B010203, DstIP: 0x0A000102, SrcPort: 51000, DstPort: 443, Proto: TCP}
+	fwd := &Packet{SrcIP: AddrV4(0x0A000102), DstIP: AddrV4(0x0B010203), SrcPort: 443, DstPort: 51000, Proto: TCP}
+	bwd := &Packet{SrcIP: AddrV4(0x0B010203), DstIP: AddrV4(0x0A000102), SrcPort: 51000, DstPort: 443, Proto: TCP}
 	for _, bits := range []int{8, 16, 24, 32} {
 		if a, b := fwd.TenantKey(bits), bwd.TenantKey(bits); a != b {
 			t.Fatalf("bits=%d: fwd tenant %x != bwd tenant %x", bits, a, b)
@@ -400,12 +410,12 @@ func TestTenantKeyDirectionInvariant(t *testing.T) {
 	// Out-of-range widths key per exact address.
 	k, _ := KeyOf(fwd)
 	for _, bits := range []int{0, -3, 32, 40} {
-		if got := k.Tenant(bits); got != uint64(k.IPA) {
+		if got := k.Tenant(bits); got != uint64(k.IPA.V4()) {
 			t.Fatalf("bits=%d tenant = %x, want exact address %x", bits, got, k.IPA)
 		}
 	}
 	// Distinct subnets stay distinct tenants.
-	other := &Packet{SrcIP: 0x0A000202, DstIP: 0x0B010203, SrcPort: 443, DstPort: 51000, Proto: TCP}
+	other := &Packet{SrcIP: AddrV4(0x0A000202), DstIP: AddrV4(0x0B010203), SrcPort: 443, DstPort: 51000, Proto: TCP}
 	if fwd.TenantKey(24) == other.TenantKey(24) {
 		t.Fatal("different /24 subnets billed the same tenant")
 	}

@@ -54,8 +54,8 @@ const (
 type Packet struct {
 	// Time is seconds since capture start.
 	Time float64
-	// SrcIP and DstIP are IPv4 addresses as uint32.
-	SrcIP, DstIP uint32
+	// SrcIP and DstIP are the endpoint addresses (IPv4 stored v4-mapped).
+	SrcIP, DstIP Addr
 	// SrcPort and DstPort are transport ports (0 for ICMP).
 	SrcPort, DstPort uint16
 	// Proto is the transport protocol.
@@ -69,28 +69,35 @@ type Packet struct {
 	// WindowSize is the TCP window (0 for non-TCP). The initial window of
 	// each direction is a CIC feature.
 	WindowSize uint16
+	// VLAN is the outermost 802.1Q VLAN ID (0 = untagged). QinQ frames
+	// record the outer service tag. VLAN is carried for observability and
+	// the v2 capture record; it is not part of the flow key.
+	VLAN uint16
+}
+
+// EncodableV1 reports whether p fits the legacy 32-byte v1 capture record
+// (and the matching cluster wire packet frame): both addresses IPv4 and no
+// VLAN tag. Pure-v4 workloads stay on the v1 encodings byte-identically.
+func (p *Packet) EncodableV1() bool {
+	return p.VLAN == 0 && p.SrcIP.Is4() && p.DstIP.Is4()
 }
 
 // FlowKey identifies a bidirectional flow: the 5-tuple normalized so both
 // directions map to the same key.
 type FlowKey struct {
-	IPA, IPB     uint32
+	IPA, IPB     Addr
 	PortA, PortB uint16
 	Proto        Proto
 }
 
 // KeyOf returns the bidirectional key of p and whether p travels in the
-// "A→B" canonical orientation (the orientation with the numerically
-// smaller endpoint first).
+// "A→B" canonical orientation (the orientation with the byte-wise smaller
+// endpoint first — for IPv4 pairs this is the old numeric order).
 func KeyOf(p *Packet) (FlowKey, bool) {
-	fwd := p.SrcIP < p.DstIP || (p.SrcIP == p.DstIP && p.SrcPort <= p.DstPort)
+	c := p.SrcIP.Compare(p.DstIP)
+	fwd := c < 0 || (c == 0 && p.SrcPort <= p.DstPort)
 	if fwd {
 		return FlowKey{p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto}, true
 	}
 	return FlowKey{p.DstIP, p.SrcIP, p.DstPort, p.SrcPort, p.Proto}, false
-}
-
-// IPv4 packs four octets into the uint32 address representation.
-func IPv4(a, b, c, d byte) uint32 {
-	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
 }

@@ -97,9 +97,12 @@ const (
 	// CIC idle timeout, so the gate's notion of "already assembled"
 	// tracks the engine's.
 	DefaultFlowIdle = 120.0
-	// DefaultTenantBits is the subnet prefix length of the default
-	// tenant key (netflow.Packet.TenantKey).
+	// DefaultTenantBits is the IPv4 subnet prefix length of the default
+	// tenant key (netflow.Packet.TenantPrefixKey).
 	DefaultTenantBits = 24
+	// DefaultTenantBitsV6 is the IPv6 prefix length of the default
+	// tenant key: /48, the conventional site-assignment boundary.
+	DefaultTenantBitsV6 = 48
 )
 
 // OverloadPolicy configures the admission gate. The zero value is the
@@ -169,7 +172,9 @@ func (p OverloadPolicy) withDefaults() OverloadPolicy {
 		}
 	}
 	if p.TenantKey == nil {
-		p.TenantKey = func(pkt *netflow.Packet) uint64 { return pkt.TenantKey(DefaultTenantBits) }
+		p.TenantKey = func(pkt *netflow.Packet) uint64 {
+			return pkt.TenantPrefixKey(DefaultTenantBits, DefaultTenantBitsV6)
+		}
 	}
 	if p.EvalEvery <= 0 {
 		p.EvalEvery = DefaultEvalEvery
@@ -217,10 +222,18 @@ func (b *tokenBucket) take(now, rate, burst float64) bool {
 // in capture-time order; its internal state is nonetheless mutex-held,
 // so a misbehaving second feeder corrupts nothing.
 type Gate struct {
-	inner Stream
-	pol   OverloadPolicy
-	tel   *telemetry.Collector
-	occ   occupier // nil when the wrapped stream has no ingress buffer
+	inner  Stream
+	pol    OverloadPolicy
+	tel    *telemetry.Collector
+	ownTel bool     // tel is gate-private (wrapped stream exposes none)
+	occ    occupier // nil when the wrapped stream has no ingress buffer
+
+	// labelMu guards labels, the bounded v6 tenant-key → CIDR registry
+	// behind the default tenant labeler. The default v6 key is a prefix
+	// hash (not invertible), so the drop path records each shedding
+	// tenant's "2001:db8:aaaa::/48"-style label as it first appears.
+	labelMu sync.RWMutex
+	labels  map[uint64]string
 
 	mu      sync.Mutex
 	state   OverloadState
@@ -238,22 +251,13 @@ var _ Stream = (*Gate)(nil)
 // NewGate wraps inner in a bounded-overload admission gate with the
 // given policy (fields resolved to their defaults; Mode is forced to
 // OverloadBounded — a lossless run simply does not install a gate).
-// The gate shares inner's telemetry collector.
+// The gate shares inner's telemetry collector; when the wrapped stream
+// exposes none (a cluster ingest client, say) the gate keeps a private
+// collector so drops still count, and folds them into Stats/Snapshot.
 func NewGate(inner Stream, pol OverloadPolicy) *Gate {
 	pol.Mode = OverloadBounded
 	defaultTenantKey := pol.TenantKey == nil
 	pol = pol.withDefaults()
-	if tel := inner.Telemetry(); tel != nil && defaultTenantKey {
-		// The default key is the /DefaultTenantBits source subnet of the
-		// canonical flow endpoint — label the per-tenant drop metric in
-		// CIDR form instead of a bare integer. Custom keys keep the
-		// decimal default (or install their own via SetTenantLabeler).
-		tel.SetTenantLabeler(func(key uint64) string {
-			ip := uint32(key) << (32 - DefaultTenantBits)
-			return fmt.Sprintf("%d.%d.%d.%d/%d",
-				byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip), DefaultTenantBits)
-		})
-	}
 	g := &Gate{
 		inner:   inner,
 		pol:     pol,
@@ -261,11 +265,79 @@ func NewGate(inner Stream, pol OverloadPolicy) *Gate {
 		flows:   make(map[netflow.FlowKey]float64),
 		buckets: make(map[uint64]*tokenBucket),
 	}
+	if g.tel == nil {
+		g.tel = telemetry.New(nil)
+		g.ownTel = true
+	}
+	if defaultTenantKey {
+		// The default key is the /DefaultTenantBits (v4) or
+		// /DefaultTenantBitsV6 (v6) source prefix of the canonical flow
+		// endpoint — label the per-tenant drop metric in CIDR form
+		// instead of a bare integer. IPv4 prefixes invert from the key
+		// directly; IPv6 keys are prefix hashes, resolved through the
+		// registry the drop path populates. Custom keys keep the decimal
+		// default (or install their own via SetTenantLabeler).
+		g.labels = make(map[uint64]string)
+		g.tel.SetTenantLabeler(func(key uint64) string {
+			if key < 1<<32 {
+				ip := uint32(key) << (32 - DefaultTenantBits)
+				return fmt.Sprintf("%d.%d.%d.%d/%d",
+					byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip), DefaultTenantBits)
+			}
+			g.labelMu.RLock()
+			label, ok := g.labels[key]
+			g.labelMu.RUnlock()
+			if ok {
+				return label
+			}
+			return fmt.Sprintf("v6:%x", key)
+		})
+	}
 	if o, ok := inner.(occupier); ok {
 		g.occ = o
 	}
 	g.tel.LatencyCountsInto(&g.lastLat)
 	return g
+}
+
+// maxTenantLabels bounds the gate's v6 tenant-label registry; tenants
+// past the bound label by key hash (the drop counts stay exact).
+const maxTenantLabels = 1024
+
+// recordTenantLabel resolves and remembers the CIDR label of a dropped
+// v6 packet's default tenant key.
+func (g *Gate) recordTenantLabel(p *netflow.Packet, key uint64) {
+	g.labelMu.RLock()
+	_, ok := g.labels[key]
+	full := len(g.labels) >= maxTenantLabels
+	g.labelMu.RUnlock()
+	if ok || full {
+		return
+	}
+	k, _ := netflow.KeyOf(p)
+	label := v6PrefixLabel(k.IPA, DefaultTenantBitsV6)
+	g.labelMu.Lock()
+	if len(g.labels) < maxTenantLabels {
+		g.labels[key] = label
+	}
+	g.labelMu.Unlock()
+}
+
+// v6PrefixLabel renders the /bits prefix of a as a CIDR label.
+func v6PrefixLabel(a netflow.Addr, bits int) string {
+	masked := a
+	full, rem := bits/8, bits%8
+	for i := full; i < 16; i++ {
+		if i == full && rem > 0 {
+			masked[i] &= 0xff << (8 - rem)
+			continue
+		}
+		masked[i] = 0
+	}
+	if masked == (netflow.Addr{}) {
+		return fmt.Sprintf("::/%d", bits)
+	}
+	return fmt.Sprintf("%s/%d", masked.String(), bits)
 }
 
 // State returns the gate's current load-shedding state.
@@ -349,8 +421,12 @@ func (g *Gate) admit(p netflow.Packet, wait time.Duration) bool {
 // attribution, so every shed packet is billable to the tenant that
 // offered it. Caller holds the gate lock.
 func (g *Gate) drop(p netflow.Packet, r telemetry.DropReason) {
+	key := g.pol.TenantKey(&p)
 	g.tel.AddDropped(r, 1)
-	g.tel.AddDroppedTenant(g.pol.TenantKey(&p), 1)
+	g.tel.AddDroppedTenant(key, 1)
+	if g.labels != nil && key >= 1<<32 {
+		g.recordTenantLabel(&p, key)
+	}
 	if g.pol.OnDrop != nil {
 		g.pol.OnDrop(p, r)
 	}
@@ -463,11 +539,25 @@ func (g *Gate) Flush() { g.inner.Flush() }
 func (g *Gate) Close() { g.inner.Close() }
 
 // Stats reads the wrapped stream's counters (drops included — gate and
-// engine share one collector).
-func (g *Gate) Stats() Stats { return g.inner.Stats() }
+// engine share one collector; a gate-private collector's drops are
+// folded in).
+func (g *Gate) Stats() Stats { return g.foldDrops(g.inner.Stats()) }
 
 // Snapshot reads the wrapped stream's counters — identical to Stats.
-func (g *Gate) Snapshot() Stats { return g.inner.Snapshot() }
+func (g *Gate) Snapshot() Stats { return g.foldDrops(g.inner.Snapshot()) }
+
+// foldDrops merges the gate's private drop counters into a wrapped
+// stream's stats when the two do not share a collector.
+func (g *Gate) foldDrops(st Stats) Stats {
+	if !g.ownTel {
+		return st
+	}
+	s := g.tel.Snapshot()
+	for i, v := range s.Dropped {
+		st.Dropped[i] += int(v)
+	}
+	return st
+}
 
 // Telemetry returns the shared collector.
 func (g *Gate) Telemetry() *telemetry.Collector { return g.tel }

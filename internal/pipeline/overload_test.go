@@ -62,7 +62,7 @@ func fastCfg(model Classifier) Config {
 // tcpPkt builds one TCP packet at capture time at.
 func tcpPkt(src, dst uint32, sport, dport uint16, at float64, flags uint8) netflow.Packet {
 	return netflow.Packet{
-		Time: at, SrcIP: src, DstIP: dst, SrcPort: sport, DstPort: dport,
+		Time: at, SrcIP: netflow.AddrV4(src), DstIP: netflow.AddrV4(dst), SrcPort: sport, DstPort: dport,
 		Proto: netflow.TCP, Length: 60, HeaderLen: 40, Flags: flags,
 	}
 }
@@ -534,5 +534,65 @@ func TestTenantDropCardinalityBounded(t *testing.T) {
 	if attributed+s.DroppedByTenantOther != int64(total) {
 		t.Fatalf("attributed %d + other %d != %d offered",
 			attributed, s.DroppedByTenantOther, total)
+	}
+}
+
+// telemetrylessStream hides an engine's collector, modeling streams
+// (the cluster ingest client, say) that expose no telemetry.
+type telemetrylessStream struct{ *Engine }
+
+// Telemetry reports no collector, forcing the gate onto a private one.
+func (telemetrylessStream) Telemetry() *telemetry.Collector { return nil }
+
+// TestGatePrivateTelemetryAndV6TenantLabels pins two halves of the gate
+// over a telemetry-less stream: drops land on the gate's private
+// collector and still fold into Stats/Snapshot (offered = admitted +
+// dropped), and the default tenant labeler renders both families in
+// CIDR form — v4 keys invert directly, v6 keys resolve through the
+// registry the drop path populates.
+func TestGatePrivateTelemetryAndV6TenantLabels(t *testing.T) {
+	eng, err := New(fastCfg(stubModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(telemetrylessStream{eng}, OverloadPolicy{TenantRate: 1, TenantBurst: 2})
+	v6pkt := func(host byte, port uint16) netflow.Packet {
+		src := netflow.MustParseAddr("2001:db8:1:2::0")
+		src[15] = host
+		return netflow.Packet{
+			Time: 1.0, SrcIP: src, DstIP: netflow.MustParseAddr("2001:db8:9::1"),
+			SrcPort: port, DstPort: 80, Proto: netflow.TCP, Length: 80, HeaderLen: 60,
+		}
+	}
+	// A v6 /48 floods in one capture instant: burst 2 -> 2 admitted, 6
+	// refused, all billed to the same /48 tenant.
+	for i := 0; i < 8; i++ {
+		g.Feed(v6pkt(byte(i+1), uint16(1000+i)))
+	}
+	// A noisy v4 /24 alongside: 2 admitted, 3 refused — the two families
+	// can never share a bucket (v6 keys carry bit 63).
+	for i := 0; i < 5; i++ {
+		g.Feed(tcpPkt(0x0A000001, 0x0B000001, uint16(2000+i), 80, 1.0, 0))
+	}
+	g.Close()
+	st := g.Stats()
+	if st.Packets != 4 {
+		t.Fatalf("admitted %d packets, want 4 (2 v6 + 2 v4)", st.Packets)
+	}
+	if st.Dropped[telemetry.DropTenantRate] != 9 {
+		t.Fatalf("tenant-rate drops = %d, want 9", st.Dropped[telemetry.DropTenantRate])
+	}
+	if got := g.Snapshot().DroppedTotal(); got != 9 {
+		t.Fatalf("Snapshot folded %d drops, want 9", got)
+	}
+	labels := map[string]int64{}
+	for _, td := range g.Telemetry().Snapshot().DroppedByTenant {
+		labels[td.Label] = td.Dropped
+	}
+	if labels["2001:db8:1::/48"] != 6 {
+		t.Fatalf("v6 tenant label missing or miscounted: %v", labels)
+	}
+	if labels["10.0.0.0/24"] != 3 {
+		t.Fatalf("v4 tenant label missing or miscounted: %v", labels)
 	}
 }

@@ -138,7 +138,7 @@ func TestTickEvictsIdleFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	if eng.Stats().Flows != 0 {
 		t.Fatal("flow completed prematurely")
 	}
@@ -277,7 +277,7 @@ func TestBatchModeFlushesOnTick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	eng.Tick(100)
 	st := eng.Stats()
 	if st.Flows != 1 {
@@ -305,7 +305,7 @@ func TestBatchModeFallsBackWithoutBatchClassifier(t *testing.T) {
 	if eng.batch != nil {
 		t.Fatal("static model must not engage batch mode")
 	}
-	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	eng.Flush()
 	if eng.Stats().Flows != 1 {
 		t.Fatal("fallback engine dropped the flow")

@@ -179,12 +179,12 @@ func (p *tickProbe) Tick(t float64) { p.now = t; p.Engine.Tick(t) }
 // verdict can only surface via idle eviction — nothing ever terminates it.
 func quietGapCapture() []netflow.Packet {
 	pkts := []netflow.Packet{
-		{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
-		{Time: 0.5, SrcIP: 2, DstIP: 1, SrcPort: 53, DstPort: 9, Proto: netflow.UDP, Length: 200, HeaderLen: 28},
+		{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 0.5, SrcIP: netflow.AddrV4(2), DstIP: netflow.AddrV4(1), SrcPort: 53, DstPort: 9, Proto: netflow.UDP, Length: 200, HeaderLen: 28},
 	}
 	for ts := 1; ts <= 200; ts++ {
 		pkts = append(pkts, netflow.Packet{
-			Time: float64(ts), SrcIP: 7, DstIP: 8, SrcPort: 1000, DstPort: 2000,
+			Time: float64(ts), SrcIP: netflow.AddrV4(7), DstIP: netflow.AddrV4(8), SrcPort: 1000, DstPort: 2000,
 			Proto: netflow.UDP, Length: 100, HeaderLen: 28,
 		})
 	}
@@ -273,7 +273,7 @@ func (f *failingSource) Next(p *netflow.Packet) error {
 		return fmt.Errorf("wire fell out")
 	}
 	f.n--
-	*p = netflow.Packet{Time: float64(3 - f.n), SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28}
+	*p = netflow.Packet{Time: float64(3 - f.n), SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28}
 	return nil
 }
 
@@ -367,10 +367,10 @@ func TestNewRunnerEngineSelection(t *testing.T) {
 // newest boundary time, so eviction behaves identically.
 func TestRunnerTickCollapsesQuietGaps(t *testing.T) {
 	pkts := []netflow.Packet{
-		{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
 		// 10,000 capture-seconds of silence.
-		{Time: 10_000, SrcIP: 7, DstIP: 8, SrcPort: 1000, DstPort: 2000, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
-		{Time: 10_000.5, SrcIP: 7, DstIP: 8, SrcPort: 1000, DstPort: 2000, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 10_000, SrcIP: netflow.AddrV4(7), DstIP: netflow.AddrV4(8), SrcPort: 1000, DstPort: 2000, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 10_000.5, SrcIP: netflow.AddrV4(7), DstIP: netflow.AddrV4(8), SrcPort: 1000, DstPort: 2000, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
 	}
 	cfg := trivialConfig()
 	eng, err := New(cfg)

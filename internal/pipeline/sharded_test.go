@@ -142,7 +142,7 @@ func TestShardedTickDrainsBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	sh.Feed(netflow.Packet{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	sh.Tick(100)
 	select {
 	case <-alerts:

@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"sync"
 
@@ -82,20 +81,15 @@ func recordOf(a Alert) AlertRecord {
 		Time:      a.Time,
 		Class:     a.Class,
 		ClassName: a.ClassName,
-		SrcIP:     ipString(src),
+		SrcIP:     src.String(),
 		SrcPort:   sp,
-		DstIP:     ipString(dst),
+		DstIP:     dst.String(),
 		DstPort:   dp,
 		Proto:     f.Key.Proto.String(),
 		Packets:   f.TotalPackets(),
 		Bytes:     f.TotalBytes(),
 		Duration:  f.Duration(),
 	}
-}
-
-// ipString renders a packed IPv4 address dotted-quad.
-func ipString(ip uint32) string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
 
 // JSONLSink writes one JSON object per alert (JSON Lines) to a writer —

@@ -206,7 +206,7 @@ func TestEngineFansAlertsToSinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Feed(netflow.Packet{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
+	eng.Feed(netflow.Packet{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28})
 	eng.Close()
 	if strings.Join(order, ",") != "cb,s1,s2" {
 		t.Fatalf("delivery order = %v", order)

@@ -244,7 +244,7 @@ func TestVerdictLatencyHistogram(t *testing.T) {
 		// Two short flows completing at t≈1, then a tick 5 capture-seconds
 		// later: their verdicts waited ~5 s in the batch buffer.
 		mk := func(sport uint16, t0 float64, flags uint8) netflow.Packet {
-			return netflow.Packet{Time: t0, SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			return netflow.Packet{Time: t0, SrcIP: netflow.AddrV4(0x0a000001), DstIP: netflow.AddrV4(0x0a000002),
 				SrcPort: sport, DstPort: 80, Proto: netflow.TCP, Length: 60, HeaderLen: 40,
 				Flags: flags}
 		}

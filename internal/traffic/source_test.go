@@ -52,8 +52,8 @@ func TestReplayCancelInterruptsPacing(t *testing.T) {
 	// the armed context, Next would sleep ~17 minutes. Cancel after 20 ms
 	// and require a prompt return with the context's error.
 	s := &Stream{Packets: []netflow.Packet{
-		{Time: 0, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
-		{Time: 1000, SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 0, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
+		{Time: 1000, SrcIP: netflow.AddrV4(1), DstIP: netflow.AddrV4(2), SrcPort: 9, DstPort: 53, Proto: netflow.UDP, Length: 80, HeaderLen: 28},
 	}}
 	src := Replay(s, 1)
 	ctx, cancel := context.WithCancel(context.Background())

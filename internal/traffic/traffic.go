@@ -127,7 +127,7 @@ func Generate(cfg Config) *Stream {
 		r:        rng.New(cfg.Seed),
 		labels:   make(map[netflow.FlowKey]Label),
 		nextPort: 10000,
-		nextHost: netflow.IPv4(10, 1, 0, 1),
+		nextHost: netflow.IPv4(10, 1, 0, 1).V4(),
 	}
 	for s := 0; s < cfg.Sessions; s++ {
 		start := g.r.Float64() * cfg.Duration
@@ -139,7 +139,7 @@ func Generate(cfg Config) *Stream {
 }
 
 // client allocates a unique (IP, port) pair so session flows never collide.
-func (g *gen) client() (uint32, uint16) {
+func (g *gen) client() (netflow.Addr, uint16) {
 	ip := g.nextHost
 	port := g.nextPort
 	g.nextPort++
@@ -147,7 +147,7 @@ func (g *gen) client() (uint32, uint16) {
 		g.nextPort = 10000
 		g.nextHost++
 	}
-	return ip, port
+	return netflow.AddrV4(ip), port
 }
 
 // step returns a per-packet time increment in [lo, hi) scaled by the
@@ -222,7 +222,7 @@ func (g *gen) emit(p netflow.Packet, label Label) {
 }
 
 // tcp emits one TCP packet.
-func (g *gen) tcp(t float64, srcIP uint32, srcPort uint16, dstIP uint32, dstPort uint16,
+func (g *gen) tcp(t float64, srcIP netflow.Addr, srcPort uint16, dstIP netflow.Addr, dstPort uint16,
 	length int, flags uint8, win uint16, label Label) {
 	g.emit(netflow.Packet{
 		Time: t, SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort,
@@ -231,7 +231,7 @@ func (g *gen) tcp(t float64, srcIP uint32, srcPort uint16, dstIP uint32, dstPort
 }
 
 // handshake emits SYN / SYN-ACK / ACK and returns the time after it.
-func (g *gen) handshake(t float64, cIP uint32, cPort uint16, sIP uint32, sPort uint16,
+func (g *gen) handshake(t float64, cIP netflow.Addr, cPort uint16, sIP netflow.Addr, sPort uint16,
 	rtt float64, label Label) float64 {
 	g.tcp(t, cIP, cPort, sIP, sPort, 60, netflow.SYN, 64240, label)
 	g.tcp(t+rtt/2, sIP, sPort, cIP, cPort, 60, netflow.SYN|netflow.ACK, 28960, label)
@@ -240,7 +240,7 @@ func (g *gen) handshake(t float64, cIP uint32, cPort uint16, sIP uint32, sPort u
 }
 
 // closeFin emits the FIN / FIN-ACK / ACK sequence.
-func (g *gen) closeFin(t float64, cIP uint32, cPort uint16, sIP uint32, sPort uint16,
+func (g *gen) closeFin(t float64, cIP netflow.Addr, cPort uint16, sIP netflow.Addr, sPort uint16,
 	rtt float64, label Label) {
 	g.tcp(t, cIP, cPort, sIP, sPort, 52, netflow.FIN|netflow.ACK, 64240, label)
 	g.tcp(t+rtt/2, sIP, sPort, cIP, cPort, 52, netflow.FIN|netflow.ACK, 28960, label)

@@ -36,6 +36,13 @@ type (
 	SliceSource = netflow.SliceSource
 	// CaptureFile streams an on-disk binary capture in O(1) memory.
 	CaptureFile = netflow.CaptureFile
+	// PCAPFile streams an on-disk PCAP or pcapng capture in O(1) memory
+	// (see OpenPCAP).
+	PCAPFile = netflow.PCAPFile
+	// PCAPSource streams packets out of classic PCAP or pcapng bytes —
+	// the dependency-free interchange-format front door (Ethernet/VLAN/
+	// IPv4/IPv6/TCP/UDP/ICMP decode).
+	PCAPSource = netflow.PCAPSource
 	// ReplaySource replays generated traffic, optionally paced against the
 	// wall clock (live-replay mode).
 	ReplaySource = traffic.ReplaySource
@@ -151,6 +158,13 @@ var (
 	NewSliceSource = netflow.NewSliceSource
 	// OpenCapture opens a binary capture for O(1)-memory streaming replay.
 	OpenCapture = netflow.OpenCapture
+	// OpenPCAP opens a PCAP or pcapng capture for O(1)-memory streaming
+	// replay through the decode stack — real-world captures as a
+	// PacketSource, no external dependencies.
+	OpenPCAP = netflow.OpenPCAP
+	// NewPCAPSource streams a PCAP or pcapng byte stream (magic-sniffed)
+	// as a PacketSource.
+	NewPCAPSource = netflow.NewPCAPSource
 	// ReplayTraffic replays a generated TrafficStream, paced at the given
 	// multiple of capture time when speed > 0 (live-replay mode).
 	ReplayTraffic = traffic.Replay

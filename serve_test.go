@@ -244,7 +244,7 @@ func TestOverloadOptionsMatchStruct(t *testing.T) {
 	det := serveDetector(t)
 	live := GenerateTraffic(TrafficConfig{Sessions: 200, Seed: 31})
 
-	tenant := func(p *Packet) uint64 { return uint64(p.SrcIP) }
+	tenant := func(p *Packet) uint64 { return uint64(p.SrcIP.V4()) }
 	onDrop := func(Packet, DropReason) {}
 	viaOpts := det.EngineConfig(
 		WithOverloadPolicy(OverloadPolicy{Mode: OverloadBounded, TenantRate: 5}),
